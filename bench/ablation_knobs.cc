@@ -1,0 +1,87 @@
+// Ablation of the operator's design constants, beyond the paper's own
+// Appendix A sweeps:
+//
+//   table fill cap   — Section 4.1 fixes 25%; higher caps hold more groups
+//                      per table (fewer passes) but cost probe collisions
+//   alpha0           — switching threshold (Appendix A.1 derives ~11 from
+//                      crossover measurements; this sweeps it directly on
+//                      a mid-locality workload)
+//   morsel size      — work-stealing granularity of a pass
+//   table size       — the "cache-sized" budget itself
+//
+// Usage: ablation_knobs [--log_n=21] [--threads=N]
+
+#include <cstdio>
+#include <vector>
+
+#include "agg_bench.h"
+
+using namespace cea;        // NOLINT
+using namespace cea::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t n = uint64_t{1} << flags.GetUint("log_n", 21);
+  MachineInfo machine = DetectMachine();
+  const int threads =
+      static_cast<int>(flags.GetUint("threads", machine.hardware_threads));
+  const int reps = static_cast<int>(flags.GetUint("reps", 1));
+
+  // Mid-locality workload: moving cluster with ~8 repetitions per key —
+  // close to the alpha0 crossover, where the knobs actually matter.
+  GenParams mid;
+  mid.n = n;
+  mid.k = n / 8;
+  mid.dist = Distribution::kMovingCluster;
+  mid.cluster_window = 4096;
+  std::vector<uint64_t> mid_keys = GenerateKeys(mid);
+
+  GenParams uni;
+  uni.n = n;
+  uni.k = n / 4;
+  std::vector<uint64_t> uniform_keys = GenerateKeys(uni);
+
+  auto run = [&](const std::vector<uint64_t>& keys,
+                 AggregationOptions options) {
+    options.num_threads = threads;
+    double sec = TimeAggregation(keys, {}, {}, options, reps);
+    return ElementTimeNs(sec, threads, n, 1);
+  };
+
+  std::printf("# Ablation sweeps, N=2^%llu, P=%d (element time, ns)\n\n",
+              (unsigned long long)flags.GetUint("log_n", 21), threads);
+
+  std::printf("%-12s %12s %12s\n", "fill cap", "clustered", "uniform");
+  for (double fill : {0.125, 0.25, 0.5, 0.75}) {
+    AggregationOptions o;
+    o.table_max_fill = fill;
+    std::printf("%-12.3f %12.2f %12.2f\n", fill, run(mid_keys, o),
+                run(uniform_keys, o));
+  }
+
+  std::printf("\n%-12s %12s %12s\n", "alpha0", "clustered", "uniform");
+  for (double alpha0 : {1.0, 2.0, 4.0, 8.0, 11.0, 16.0, 32.0, 1e9}) {
+    AggregationOptions o;
+    o.alpha0 = alpha0;
+    std::printf("%-12.0f %12.2f %12.2f\n", alpha0, run(mid_keys, o),
+                run(uniform_keys, o));
+  }
+
+  std::printf("\n%-12s %12s %12s\n", "morsel", "clustered", "uniform");
+  for (size_t morsel : {size_t{1} << 12, size_t{1} << 14, size_t{1} << 16,
+                        size_t{1} << 18}) {
+    AggregationOptions o;
+    o.morsel_rows = morsel;
+    std::printf("%-12zu %12.2f %12.2f\n", morsel, run(mid_keys, o),
+                run(uniform_keys, o));
+  }
+
+  std::printf("\n%-12s %12s %12s\n", "table MiB", "clustered", "uniform");
+  for (size_t mb : {1, 2, 4, 8, 16}) {
+    AggregationOptions o;
+    o.table_bytes = mb << 20;
+    std::printf("%-12zu %12.2f %12.2f\n", mb, run(mid_keys, o),
+                run(uniform_keys, o));
+  }
+  return 0;
+}

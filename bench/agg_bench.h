@@ -1,0 +1,63 @@
+// Shared setup for the operator-level figure benches: data generation and
+// timed operator execution.
+
+#ifndef CEA_BENCH_AGG_BENCH_H_
+#define CEA_BENCH_AGG_BENCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.h"
+#include "cea/columnar/column.h"
+#include "cea/core/aggregation_operator.h"
+#include "cea/datagen/generators.h"
+
+namespace cea::bench {
+
+// Executes the operator once and returns wall seconds; stats out-param
+// receives the telemetry of the last run.
+inline double TimeAggregation(const std::vector<uint64_t>& keys,
+                              const std::vector<AggregateSpec>& specs,
+                              const std::vector<const Column*>& value_cols,
+                              AggregationOptions options, int reps,
+                              ExecStats* stats = nullptr,
+                              size_t* groups = nullptr) {
+  AggregationOperator op(specs, options);
+  InputTable input;
+  input.keys = keys.data();
+  input.num_rows = keys.size();
+  for (const Column* c : value_cols) input.values.push_back(c->data());
+
+  double best = 0;
+  std::vector<double> times;
+  for (int r = 0; r < reps; ++r) {
+    ResultTable result;
+    ExecStats s;
+    Timer t;
+    Status st = op.Execute(input, &result, &s);
+    times.push_back(t.Seconds());
+    if (!st.ok()) {
+      std::fprintf(stderr, "aggregation failed: %s\n", st.message().c_str());
+      std::exit(1);
+    }
+    if (stats != nullptr) *stats = s;
+    if (groups != nullptr) *groups = result.num_groups();
+    DoNotOptimize(result.keys.data());
+  }
+  std::sort(times.begin(), times.end());
+  best = times[times.size() / 2];
+  return best;
+}
+
+// The K values of a log-scale sweep.
+inline std::vector<uint64_t> KSweep(int min_log, int max_log, int step = 2) {
+  std::vector<uint64_t> ks;
+  for (int lk = min_log; lk <= max_log; lk += step) {
+    ks.push_back(uint64_t{1} << lk);
+  }
+  return ks;
+}
+
+}  // namespace cea::bench
+
+#endif  // CEA_BENCH_AGG_BENCH_H_

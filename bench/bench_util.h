@@ -1,0 +1,74 @@
+// Shared infrastructure for the figure-reproduction benches.
+//
+// Every bench binary prints the series of one paper figure as an aligned
+// text table. The common metric is the paper's "Element Time"
+// (Section 6.1): T * P / N / C — the time each core spends per processed
+// element — which makes runs with different thread counts and column
+// counts directly comparable.
+
+#ifndef CEA_BENCH_BENCH_UTIL_H_
+#define CEA_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cea/common/flags.h"
+
+namespace cea::bench {
+
+// --flag=value parsing shared with tools/.
+using Flags = ::cea::Flags;
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Runs fn() `reps` times and returns the median wall time in seconds.
+template <typename F>
+double MedianSeconds(int reps, F&& fn) {
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    times.push_back(t.Seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+// Element time in nanoseconds: T * P / N / C (Section 6.1).
+inline double ElementTimeNs(double seconds, int threads, uint64_t n,
+                            int columns) {
+  return seconds * threads / static_cast<double>(n) /
+         static_cast<double>(columns) * 1e9;
+}
+
+inline double BandwidthGiBs(uint64_t bytes, double seconds) {
+  return static_cast<double>(bytes) / seconds / (1024.0 * 1024.0 * 1024.0);
+}
+
+// Prevents the compiler from optimizing a result away.
+template <typename T>
+inline void DoNotOptimize(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+}  // namespace cea::bench
+
+#endif  // CEA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,222 @@
+// Figure 3: bandwidth of the partitioning routine variants (Section 4.2)
+// on uniformly distributed random 64-bit data, 256 partitions.
+//
+//   memcpy(nt)   non-temporal memcpy — the "speed of light" reference
+//   key          naive partitioning by key bits (counting pass + stores)
+//   hash         naive partitioning by hash bits
+//   key+swc      software write-combining, key bits
+//   hash+swc     software write-combining, hash bits
+//   hash+swc+ooo ... plus 16-element out-of-order blocks
+//   two-level    production path: SWC into the two-level ChunkedArray
+//                (no counting pass needed)
+//   map          applying a mapping vector to an aggregate column with SWC
+//
+// Usage: fig03_partitioning_microbench [--log_n=23] [--reps=3]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "cea/common/machine.h"
+#include "cea/common/random.h"
+#include "cea/hash/murmur.h"
+#include "cea/hash/radix.h"
+#include "cea/mem/chunked_array.h"
+#include "cea/mem/stream_store.h"
+#include "cea/mem/swc_buffer.h"
+
+namespace {
+
+using cea::ChunkedArray;
+using cea::kFanOut;
+using cea::MurmurHash64;
+using cea::RadixDigit;
+using cea::SwcWriter;
+
+struct AlignedBuffer {
+  explicit AlignedBuffer(size_t elems)
+      : data(static_cast<uint64_t*>(
+            std::aligned_alloc(cea::kCacheLineBytes, elems * 8))) {}
+  ~AlignedBuffer() { std::free(data); }
+  uint64_t* data;
+};
+
+// Per-partition output offsets from a counting pass.
+template <typename DigitFn>
+std::vector<size_t> CountingPass(const uint64_t* keys, size_t n,
+                                 DigitFn digit) {
+  std::vector<size_t> counts(kFanOut, 0);
+  for (size_t i = 0; i < n; ++i) ++counts[digit(keys[i])];
+  std::vector<size_t> offsets(kFanOut + 1, 0);
+  for (uint32_t p = 0; p < kFanOut; ++p) {
+    offsets[p + 1] = offsets[p] + counts[p];
+  }
+  return offsets;
+}
+
+template <typename DigitFn>
+double NaivePartition(const uint64_t* keys, size_t n, uint64_t* out,
+                      DigitFn digit) {
+  cea::bench::Timer t;
+  std::vector<size_t> cursor = CountingPass(keys, n, digit);
+  for (size_t i = 0; i < n; ++i) {
+    out[cursor[digit(keys[i])]++] = keys[i];
+  }
+  return t.Seconds();
+}
+
+// SWC into pre-counted contiguous output (cursors stay line-aligned since
+// only whole lines are streamed; tails are flushed with plain stores).
+template <typename DigitFn>
+double SwcPartition(const uint64_t* keys, size_t n, uint64_t* out,
+                    DigitFn digit, bool ooo) {
+  cea::bench::Timer t;
+  std::vector<size_t> offsets = CountingPass(keys, n, digit);
+  // Round each partition start up to a cache line so streaming stores are
+  // aligned (the few padding gaps are irrelevant for bandwidth).
+  std::vector<size_t> cursor(kFanOut);
+  for (uint32_t p = 0; p < kFanOut; ++p) {
+    cursor[p] = (offsets[p] + 7) & ~size_t{7};
+  }
+  struct alignas(64) Line {
+    uint64_t v[8];
+  };
+  std::vector<Line> lines(kFanOut);
+  std::vector<uint8_t> fill(kFanOut, 0);
+
+  auto push = [&](uint32_t d, uint64_t key) {
+    Line& line = lines[d];
+    uint8_t f = fill[d];
+    line.v[f] = key;
+    if (++f == 8) {
+      cea::StreamStoreLine(out + cursor[d], line.v);
+      cursor[d] += 8;
+      f = 0;
+    }
+    fill[d] = f;
+  };
+
+  if (ooo) {
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      uint32_t digits[16];
+      for (int j = 0; j < 16; ++j) digits[j] = digit(keys[i + j]);
+      for (int j = 0; j < 16; ++j) push(digits[j], keys[i + j]);
+    }
+    for (; i < n; ++i) push(digit(keys[i]), keys[i]);
+  } else {
+    for (size_t i = 0; i < n; ++i) push(digit(keys[i]), keys[i]);
+  }
+  for (uint32_t p = 0; p < kFanOut; ++p) {
+    for (uint8_t f = 0; f < fill[p]; ++f) out[cursor[p] + f] = lines[p].v[f];
+  }
+  cea::StreamFence();
+  return t.Seconds();
+}
+
+// Production path: SWC into ChunkedArrays, out-of-order hashing, mapping
+// vector recorded (as the operator does for column-wise processing).
+double TwoLevelPartition(const uint64_t* keys, size_t n, uint8_t* mapping,
+                         std::vector<ChunkedArray>* runs) {
+  cea::bench::Timer t;
+  SwcWriter writer;
+  for (uint32_t p = 0; p < kFanOut; ++p) writer.SetDest(p, &(*runs)[p]);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    uint32_t digits[16];
+    for (int j = 0; j < 16; ++j) {
+      digits[j] = RadixDigit(MurmurHash64(keys[i + j]), 0);
+    }
+    for (int j = 0; j < 16; ++j) {
+      mapping[i + j] = static_cast<uint8_t>(digits[j]);
+      writer.Append(digits[j], keys[i + j]);
+    }
+  }
+  for (; i < n; ++i) {
+    uint32_t d = RadixDigit(MurmurHash64(keys[i]), 0);
+    mapping[i] = static_cast<uint8_t>(d);
+    writer.Append(d, keys[i]);
+  }
+  writer.Flush();
+  return t.Seconds();
+}
+
+// 'map': scatter an aggregate column following the mapping vector.
+double MapPartition(const uint64_t* values, const uint8_t* mapping, size_t n,
+                    std::vector<ChunkedArray>* runs) {
+  cea::bench::Timer t;
+  SwcWriter writer;
+  for (uint32_t p = 0; p < kFanOut; ++p) writer.SetDest(p, &(*runs)[p]);
+  for (size_t i = 0; i < n; ++i) {
+    writer.Append(mapping[i], values[i]);
+  }
+  writer.Flush();
+  return t.Seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cea::bench::Flags flags(argc, argv);
+  const size_t n = size_t{1} << flags.GetUint("log_n", 23);
+  const int reps = static_cast<int>(flags.GetUint("reps", 3));
+  const uint64_t bytes = n * sizeof(uint64_t);
+
+  std::vector<uint64_t> keys(n);
+  cea::Rng rng(42);
+  for (auto& k : keys) k = rng.Next();
+
+  auto key_digit = [](uint64_t k) {
+    return static_cast<uint32_t>(k >> 56);
+  };
+  auto hash_digit = [](uint64_t k) { return RadixDigit(MurmurHash64(k), 0); };
+
+  std::printf("# Figure 3: partitioning bandwidth, N=2^%llu u64, %u "
+              "partitions (payload %.0f MiB)\n",
+              (unsigned long long)flags.GetUint("log_n", 23), kFanOut,
+              bytes / 1048576.0);
+  std::printf("%-16s %12s %10s\n", "variant", "GiB/s", "rel");
+
+  AlignedBuffer out(n + kFanOut * 8);  // room for line-alignment padding
+
+  double memcpy_s = cea::bench::MedianSeconds(reps, [&] {
+    cea::StreamMemcpy(out.data, keys.data(), bytes);
+  });
+  double memcpy_bw = cea::bench::BandwidthGiBs(bytes, memcpy_s);
+
+  auto report = [&](const char* name, double seconds) {
+    double bw = cea::bench::BandwidthGiBs(bytes, seconds);
+    std::printf("%-16s %12.2f %9.0f%%\n", name, bw, bw / memcpy_bw * 100.0);
+  };
+  std::printf("%-16s %12.2f %9.0f%%\n", "memcpy(nt)", memcpy_bw, 100.0);
+
+  report("key", cea::bench::MedianSeconds(reps, [&] {
+           NaivePartition(keys.data(), n, out.data, key_digit);
+         }));
+  report("hash", cea::bench::MedianSeconds(reps, [&] {
+           NaivePartition(keys.data(), n, out.data, hash_digit);
+         }));
+  report("key+swc", cea::bench::MedianSeconds(reps, [&] {
+           SwcPartition(keys.data(), n, out.data, key_digit, false);
+         }));
+  report("hash+swc", cea::bench::MedianSeconds(reps, [&] {
+           SwcPartition(keys.data(), n, out.data, hash_digit, false);
+         }));
+  report("hash+swc+ooo", cea::bench::MedianSeconds(reps, [&] {
+           SwcPartition(keys.data(), n, out.data, hash_digit, true);
+         }));
+
+  std::vector<uint8_t> mapping(n);
+  report("two-level", cea::bench::MedianSeconds(reps, [&] {
+           std::vector<ChunkedArray> runs(kFanOut);
+           TwoLevelPartition(keys.data(), n, mapping.data(), &runs);
+         }));
+  report("map", cea::bench::MedianSeconds(reps, [&] {
+           std::vector<ChunkedArray> vruns(kFanOut);
+           MapPartition(keys.data(), mapping.data(), n, &vruns);
+         }));
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 4: breakdown of passes of the illustrative aggregation strategies
+// on uniform data — (a) HashingOnly, (b) PartitionAlways with 2 passes,
+// (c) PartitionAlways with 3 passes. For each strategy and K the bench
+// prints the per-recursion-level element time (the stacked bars of the
+// figure) and the total.
+//
+// Usage: fig04_strategy_breakdown [--log_n=22] [--threads=N]
+//        [--min_k_log=4] [--max_k_log=21] [--table_bytes=B]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "agg_bench.h"
+
+using namespace cea;        // NOLINT
+using namespace cea::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t n = uint64_t{1} << flags.GetUint("log_n", 22);
+  MachineInfo machine = DetectMachine();
+  const int threads =
+      static_cast<int>(flags.GetUint("threads", machine.hardware_threads));
+  const int min_k = static_cast<int>(flags.GetUint("min_k_log", 4));
+  const int max_k = static_cast<int>(flags.GetUint("max_k_log", 21));
+  const int reps = static_cast<int>(flags.GetUint("reps", 1));
+
+  struct Strategy {
+    const char* name;
+    AggregationOptions::PolicyKind policy;
+    int passes;
+  };
+  const Strategy strategies[] = {
+      {"HashingOnly", AggregationOptions::PolicyKind::kHashingOnly, 0},
+      {"PartitionAlways(2)", AggregationOptions::PolicyKind::kPartitionAlways,
+       2},
+      {"PartitionAlways(3)", AggregationOptions::PolicyKind::kPartitionAlways,
+       3},
+  };
+
+  std::printf("# Figure 4: per-pass breakdown, uniform data, N=2^%llu, "
+              "P=%d threads\n",
+              (unsigned long long)flags.GetUint("log_n", 22), threads);
+  std::printf("%-20s %8s %10s %10s %10s %10s %12s\n", "strategy", "log2(K)",
+              "lvl0[ns]", "lvl1[ns]", "lvl2[ns]", "lvl3+[ns]", "total[ns]");
+
+  for (const Strategy& strat : strategies) {
+    for (int lk = min_k; lk <= max_k; lk += 2) {
+      GenParams gp;
+      gp.n = n;
+      gp.k = uint64_t{1} << lk;
+      std::vector<uint64_t> keys = GenerateKeys(gp);
+
+      AggregationOptions options;
+      options.num_threads = threads;
+      options.policy = strat.policy;
+      options.partition_passes = strat.passes;
+      options.k_hint = gp.k;
+      if (flags.Has("table_bytes")) {
+        options.table_bytes = flags.GetUint("table_bytes", 0);
+      }
+
+      ExecStats stats;
+      double sec = TimeAggregation(keys, {}, {}, options, reps, &stats);
+      auto lvl_ns = [&](int l) {
+        return ElementTimeNs(stats.seconds_at_level[l], 1, n, 1);
+      };
+      double tail = 0;
+      for (size_t l = 3; l < stats.seconds_at_level.size(); ++l) {
+        tail += stats.seconds_at_level[l];
+      }
+      std::printf("%-20s %8d %10.2f %10.2f %10.2f %10.2f %12.2f\n",
+                  strat.name, lk, lvl_ns(0), lvl_ns(1), lvl_ns(2),
+                  ElementTimeNs(tail, 1, n, 1),
+                  ElementTimeNs(sec, threads, n, 1));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 5: the ADAPTIVE strategy in comparison with HashingOnly and
+// PartitionAlways (2 and 3 passes) on uniform data. ADAPTIVE should track
+// the best of the illustrative strategies piecewise, without knowing K.
+//
+// Usage: fig05_adaptive [--log_n=22] [--threads=N] [--min_k_log=4]
+//        [--max_k_log=21] [--table_bytes=B]
+
+#include <cstdio>
+#include <vector>
+
+#include "agg_bench.h"
+
+using namespace cea;        // NOLINT
+using namespace cea::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t n = uint64_t{1} << flags.GetUint("log_n", 22);
+  MachineInfo machine = DetectMachine();
+  const int threads =
+      static_cast<int>(flags.GetUint("threads", machine.hardware_threads));
+  const int min_k = static_cast<int>(flags.GetUint("min_k_log", 4));
+  const int max_k = static_cast<int>(flags.GetUint("max_k_log", 21));
+  const int reps = static_cast<int>(flags.GetUint("reps", 1));
+
+  std::printf("# Figure 5: ADAPTIVE vs illustrative strategies, uniform "
+              "data, N=2^%llu, P=%d (element time, ns)\n",
+              (unsigned long long)flags.GetUint("log_n", 22), threads);
+  std::printf("%8s %14s %14s %14s %14s\n", "log2(K)", "HashingOnly",
+              "PartAlways(2)", "PartAlways(3)", "Adaptive");
+
+  for (int lk = min_k; lk <= max_k; lk += 1) {
+    GenParams gp;
+    gp.n = n;
+    gp.k = uint64_t{1} << lk;
+    std::vector<uint64_t> keys = GenerateKeys(gp);
+
+    auto run = [&](AggregationOptions::PolicyKind policy, int passes) {
+      AggregationOptions options;
+      options.num_threads = threads;
+      options.policy = policy;
+      options.partition_passes = passes;
+      options.k_hint = gp.k;
+      if (flags.Has("table_bytes")) {
+        options.table_bytes = flags.GetUint("table_bytes", 0);
+      }
+      double sec = TimeAggregation(keys, {}, {}, options, reps);
+      return ElementTimeNs(sec, threads, n, 1);
+    };
+
+    std::printf("%8d %14.2f %14.2f %14.2f %14.2f\n", lk,
+                run(AggregationOptions::PolicyKind::kHashingOnly, 0),
+                run(AggregationOptions::PolicyKind::kPartitionAlways, 2),
+                run(AggregationOptions::PolicyKind::kPartitionAlways, 3),
+                run(AggregationOptions::PolicyKind::kAdaptive, 0));
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 6: speedup of ADAPTIVE with the number of cores for different
+// output cardinalities K, uniform data. The paper reports ~16x on 20
+// cores regardless of K; on machines with fewer cores the bench sweeps
+// the available range (document the machine in EXPERIMENTS.md).
+//
+// Usage: fig06_core_scalability [--log_n=22] [--max_threads=N]
+
+#include <cstdio>
+#include <vector>
+
+#include "agg_bench.h"
+
+using namespace cea;        // NOLINT
+using namespace cea::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t n = uint64_t{1} << flags.GetUint("log_n", 22);
+  MachineInfo machine = DetectMachine();
+  const int max_threads =
+      static_cast<int>(flags.GetUint("max_threads", machine.hardware_threads));
+  const int reps = static_cast<int>(flags.GetUint("reps", 1));
+
+  const std::vector<int> k_logs = {10, 16, 20};
+
+  std::printf("# Figure 6: speedup vs #threads (ADAPTIVE, uniform, "
+              "N=2^%llu); hardware threads: %d\n",
+              (unsigned long long)flags.GetUint("log_n", 22),
+              machine.hardware_threads);
+  std::printf("%8s", "threads");
+  for (int lk : k_logs) std::printf("   K=2^%-2d[ns] speedup", lk);
+  std::printf("\n");
+
+  std::vector<std::vector<uint64_t>> keysets;
+  for (int lk : k_logs) {
+    GenParams gp;
+    gp.n = n;
+    gp.k = uint64_t{1} << lk;
+    keysets.push_back(GenerateKeys(gp));
+  }
+
+  std::vector<double> base(k_logs.size(), 0);
+  for (int p = 1; p <= max_threads; p *= 2) {
+    std::printf("%8d", p);
+    for (size_t i = 0; i < k_logs.size(); ++i) {
+      AggregationOptions options;
+      options.num_threads = p;
+      double sec = TimeAggregation(keysets[i], {}, {}, options, reps);
+      if (p == 1) base[i] = sec;
+      std::printf("   %11.2f %7.2f", ElementTimeNs(sec, p, n, 1),
+                  base[i] / sec);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

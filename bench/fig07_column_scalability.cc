@@ -1,0 +1,65 @@
+// Figure 7: scalability with the number of aggregate columns. The
+// column-wise processing of Section 3.3 processes each column in a tight
+// loop, so the element time (normalized by the total column count C)
+// should be nearly flat in C for every K.
+//
+// Usage: fig07_column_scalability [--log_n=20] [--threads=N]
+//        [--min_k_log=4] [--max_k_log=20]
+
+#include <cstdio>
+#include <vector>
+
+#include "agg_bench.h"
+
+using namespace cea;        // NOLINT
+using namespace cea::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  // The paper shrinks N for this experiment to compensate for the extra
+  // column memory; we default to 2^20 rows.
+  const uint64_t n = uint64_t{1} << flags.GetUint("log_n", 20);
+  MachineInfo machine = DetectMachine();
+  const int threads =
+      static_cast<int>(flags.GetUint("threads", machine.hardware_threads));
+  const int min_k = static_cast<int>(flags.GetUint("min_k_log", 4));
+  const int max_k = static_cast<int>(flags.GetUint("max_k_log", 20));
+  const int reps = static_cast<int>(flags.GetUint("reps", 1));
+
+  const std::vector<int> agg_columns = {0, 1, 3, 7};
+
+  std::printf("# Figure 7: element time (ns, normalized by column count C) "
+              "vs K for different numbers of SUM columns; N=2^%llu, P=%d\n",
+              (unsigned long long)flags.GetUint("log_n", 20), threads);
+  std::printf("%8s", "log2(K)");
+  for (int c : agg_columns) std::printf(" %8s%d", "aggs=", c);
+  std::printf("\n");
+
+  // Pre-generate the widest value set once.
+  std::vector<Column> values;
+  for (int c = 0; c < 7; ++c) {
+    values.push_back(GenerateValues(n, 100 + c));
+  }
+
+  for (int lk = min_k; lk <= max_k; lk += 2) {
+    GenParams gp;
+    gp.n = n;
+    gp.k = uint64_t{1} << lk;
+    std::vector<uint64_t> keys = GenerateKeys(gp);
+    std::printf("%8d", lk);
+    for (int c : agg_columns) {
+      std::vector<AggregateSpec> specs;
+      std::vector<const Column*> cols;
+      for (int i = 0; i < c; ++i) {
+        specs.push_back({AggFn::kSum, i});
+        cols.push_back(&values[i]);
+      }
+      AggregationOptions options;
+      options.num_threads = threads;
+      double sec = TimeAggregation(keys, specs, cols, options, reps);
+      std::printf(" %9.2f", ElementTimeNs(sec, threads, n, 1 + c));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 10 (Appendix A.1): determining the switching threshold alpha0.
+// Runs HashingOnly and PartitionAlways(2) on data sets with a wide range
+// of spatial localities (parameterized moving-cluster, self-similar and
+// heavy-hitter) and prints the run times as a function of the observed
+// reduction factor alpha. The crossover of the two strategies is the
+// machine constant alpha0 (~11 on the paper's testbed).
+//
+// Usage: fig10_alpha_threshold [--log_n=22] [--threads=N]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "agg_bench.h"
+
+using namespace cea;        // NOLINT
+using namespace cea::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t n = uint64_t{1} << flags.GetUint("log_n", 22);
+  MachineInfo machine = DetectMachine();
+  const int threads =
+      static_cast<int>(flags.GetUint("threads", machine.hardware_threads));
+  const int reps = static_cast<int>(flags.GetUint("reps", 1));
+
+  struct DataSet {
+    std::string label;
+    GenParams gp;
+  };
+  std::vector<DataSet> datasets;
+
+  // moving-cluster: locality controlled by repetitions-per-window.
+  for (uint64_t k_shift : {2, 3, 4, 5, 6, 8}) {
+    GenParams gp;
+    gp.n = n;
+    gp.k = n >> k_shift;  // avg 2^k_shift repetitions per key
+    gp.dist = Distribution::kMovingCluster;
+    gp.cluster_window = 4096;
+    datasets.push_back({"moving-cluster/r" + std::to_string(1 << k_shift), gp});
+  }
+  // self-similar: skew controlled by h.
+  for (double h : {0.05, 0.1, 0.2, 0.3}) {
+    GenParams gp;
+    gp.n = n;
+    gp.k = n / 4;
+    gp.dist = Distribution::kSelfSimilar;
+    gp.self_similar_h = h;
+    datasets.push_back({"self-similar/h" + std::to_string(h).substr(0, 4), gp});
+  }
+  // heavy-hitter: locality controlled by the hitter fraction.
+  for (double f : {0.25, 0.5, 0.75, 0.9}) {
+    GenParams gp;
+    gp.n = n;
+    gp.k = n / 4;
+    gp.dist = Distribution::kHeavyHitter;
+    gp.hh_fraction = f;
+    datasets.push_back({"heavy-hitter/f" + std::to_string(f).substr(0, 4), gp});
+  }
+
+  std::printf("# Figure 10: HashingOnly vs PartitionAlways(2) as a function "
+              "of the observed alpha; N=2^%llu, P=%d\n",
+              (unsigned long long)flags.GetUint("log_n", 22), threads);
+  std::printf("%-26s %10s %14s %14s %10s\n", "dataset", "alpha",
+              "hashing[ns]", "partition[ns]", "winner");
+
+  for (const DataSet& ds : datasets) {
+    std::vector<uint64_t> keys = GenerateKeys(ds.gp);
+
+    AggregationOptions hash_opt;
+    hash_opt.num_threads = threads;
+    hash_opt.policy = AggregationOptions::PolicyKind::kHashingOnly;
+    ExecStats stats;
+    double hash_sec = TimeAggregation(keys, {}, {}, hash_opt, reps, &stats);
+
+    AggregationOptions part_opt;
+    part_opt.num_threads = threads;
+    part_opt.policy = AggregationOptions::PolicyKind::kPartitionAlways;
+    part_opt.partition_passes = 2;
+    part_opt.k_hint = ds.gp.k;
+    double part_sec = TimeAggregation(keys, {}, {}, part_opt, reps);
+
+    char alpha_str[16];
+    if (stats.num_alpha == 0) {
+      std::snprintf(alpha_str, sizeof(alpha_str), "inf");  // never flushed
+    } else {
+      std::snprintf(alpha_str, sizeof(alpha_str), "%.2f", stats.mean_alpha());
+    }
+    std::printf("%-26s %10s %14.2f %14.2f %10s\n", ds.label.c_str(),
+                alpha_str, ElementTimeNs(hash_sec, threads, n, 1),
+                ElementTimeNs(part_sec, threads, n, 1),
+                hash_sec < part_sec ? "hashing" : "partition");
+  }
+  std::printf("\n# alpha0 should separate 'hashing' winners (high alpha) "
+              "from 'partition' winners (low alpha).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 11 (Appendix A.2): impact of the tuning constant c — how many
+// rows (in units of table capacity) PARTITIONING runs before switching
+// back to HASHING to re-probe the distribution. c = 0 degenerates to
+// HashingOnly; large c approaches PartitionAlways throughput but reacts
+// slower to distribution changes.
+//
+// Usage: fig11_c_constant [--log_n=22] [--threads=N]
+
+#include <cstdio>
+#include <vector>
+
+#include "agg_bench.h"
+
+using namespace cea;        // NOLINT
+using namespace cea::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t n = uint64_t{1} << flags.GetUint("log_n", 22);
+  MachineInfo machine = DetectMachine();
+  const int threads =
+      static_cast<int>(flags.GetUint("threads", machine.hardware_threads));
+  const int reps = static_cast<int>(flags.GetUint("reps", 1));
+
+  const std::vector<uint64_t> c_values = {0, 1, 2, 5, 10, 20, 50,
+                                          uint64_t{1} << 40};
+  const std::vector<int> k_logs = {10, 16, 20};
+
+  std::printf("# Figure 11: impact of c on ADAPTIVE, uniform data, "
+              "N=2^%llu, P=%d (element time, ns)\n",
+              (unsigned long long)flags.GetUint("log_n", 22), threads);
+  std::printf("%10s", "c");
+  for (int lk : k_logs) std::printf("   K=2^%-8d", lk);
+  std::printf("\n");
+
+  std::vector<std::vector<uint64_t>> keysets;
+  for (int lk : k_logs) {
+    GenParams gp;
+    gp.n = n;
+    gp.k = uint64_t{1} << lk;
+    keysets.push_back(GenerateKeys(gp));
+  }
+
+  for (uint64_t c : c_values) {
+    if (c == (uint64_t{1} << 40)) {
+      std::printf("%10s", "inf");
+    } else {
+      std::printf("%10llu", (unsigned long long)c);
+    }
+    for (size_t i = 0; i < k_logs.size(); ++i) {
+      AggregationOptions options;
+      options.num_threads = threads;
+      options.c = c;
+      double sec = TimeAggregation(keysets[i], {}, {}, options, reps);
+      std::printf("   %11.2f", ElementTimeNs(sec, threads, n, 1));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Google-benchmark micro-benchmarks of the lowest-level primitives:
+// hashing, radix digits, SWC scatter, chunked-array appends, RNG.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cea/common/random.h"
+#include "cea/hash/murmur.h"
+#include "cea/hash/radix.h"
+#include "cea/mem/chunked_array.h"
+#include "cea/mem/swc_buffer.h"
+
+namespace {
+
+void BM_MurmurHash64(benchmark::State& state) {
+  uint64_t key = 0x123456789abcdefULL;
+  for (auto _ : state) {
+    key = cea::MurmurHash64(key);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_MurmurHash64);
+
+void BM_MurmurHash64A_Bytes(benchmark::State& state) {
+  std::vector<char> buf(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cea::MurmurHash64A(buf.data(), buf.size(), 0));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MurmurHash64A_Bytes)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_RadixDigit(benchmark::State& state) {
+  uint64_t h = 0xfedcba9876543210ULL;
+  int level = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cea::RadixDigit(h, level));
+    h += 0x9e3779b97f4a7c15ULL;
+    level = (level + 1) & 7;
+  }
+}
+BENCHMARK(BM_RadixDigit);
+
+void BM_RngNext(benchmark::State& state) {
+  cea::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ChunkedArrayAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    cea::ChunkedArray a;
+    state.ResumeTiming();
+    for (uint64_t i = 0; i < 100000; ++i) a.Append(i);
+    benchmark::DoNotOptimize(a.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_ChunkedArrayAppend);
+
+void BM_SwcScatter(benchmark::State& state) {
+  std::vector<uint64_t> keys(1 << 18);
+  cea::Rng rng(2);
+  for (auto& k : keys) k = rng.Next();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<cea::ChunkedArray> runs(cea::kFanOut);
+    cea::SwcWriter writer;
+    for (uint32_t p = 0; p < cea::kFanOut; ++p) writer.SetDest(p, &runs[p]);
+    state.ResumeTiming();
+    for (uint64_t k : keys) {
+      writer.Append(cea::RadixDigit(cea::MurmurHash64(k), 0), k);
+    }
+    writer.Flush();
+    benchmark::DoNotOptimize(runs[0].size());
+  }
+  state.SetBytesProcessed(state.iterations() * keys.size() * 8);
+}
+BENCHMARK(BM_SwcScatter);
+
+}  // namespace

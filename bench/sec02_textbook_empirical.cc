@@ -1,0 +1,81 @@
+// Section 2, empirically: run times of the naive textbook algorithms vs
+// their optimized counterparts, as a measured companion to the Figure 1
+// cost-model curves. The shapes to look for:
+//
+//   hash(naive)  — flat while K fits the cache, then explodes (a miss/row)
+//   sort(naive)  — pays a constant extra pass; steps when recursion deepens
+//   hash(opt)    — our operator with HashingOnly (recursive partitioning)
+//   sort(opt)    — our operator with PartitionAlways(2) (aggregation merged
+//                  into the final pass)
+//
+// The optimized variants converge — "hashing is sorting".
+//
+// Usage: sec02_textbook_empirical [--log_n=21] [--min_k_log=4]
+//        [--max_k_log=20]
+
+#include <cstdio>
+#include <vector>
+
+#include "agg_bench.h"
+#include "cea/textbook/textbook_agg.h"
+
+using namespace cea;        // NOLINT
+using namespace cea::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t n = uint64_t{1} << flags.GetUint("log_n", 21);
+  MachineInfo machine = DetectMachine();
+  const int min_k = static_cast<int>(flags.GetUint("min_k_log", 4));
+  const int max_k = static_cast<int>(flags.GetUint("max_k_log", 20));
+  const int reps = static_cast<int>(flags.GetUint("reps", 1));
+
+  std::printf("# Section 2 empirically: naive vs optimized, uniform data, "
+              "N=2^%llu, single-threaded (element time, ns)\n",
+              (unsigned long long)flags.GetUint("log_n", 21));
+  std::printf("%8s %14s %14s %14s %14s %14s\n", "log2(K)", "hash(naive)",
+              "sort(naive)", "hash(opt)", "sort(opt)", "mergesort(ea)");
+
+  for (int lk = min_k; lk <= max_k; lk += 2) {
+    GenParams gp;
+    gp.n = n;
+    gp.k = uint64_t{1} << lk;
+    std::vector<uint64_t> keys = GenerateKeys(gp);
+
+    double naive_hash = MedianSeconds(reps, [&] {
+      GroupCounts out = TextbookHashAggregation(keys.data(), n, gp.k);
+      DoNotOptimize(out.keys.data());
+    });
+    double naive_sort = MedianSeconds(reps, [&] {
+      GroupCounts out = TextbookSortAggregation(
+          keys.data(), n, machine.l3_bytes_per_thread);
+      DoNotOptimize(out.keys.data());
+    });
+
+    auto run_opt = [&](AggregationOptions::PolicyKind policy, int passes) {
+      AggregationOptions options;
+      options.num_threads = 1;
+      options.policy = policy;
+      options.partition_passes = passes;
+      options.k_hint = gp.k;
+      return TimeAggregation(keys, {}, {}, options, reps);
+    };
+    double opt_hash = run_opt(AggregationOptions::PolicyKind::kHashingOnly, 0);
+    double opt_sort =
+        run_opt(AggregationOptions::PolicyKind::kPartitionAlways, 2);
+
+    double mergesort_ea = MedianSeconds(reps, [&] {
+      GroupCounts out = MergeSortEarlyAggregation(
+          keys.data(), n, machine.l3_bytes_per_thread / 16 / sizeof(uint64_t));
+      DoNotOptimize(out.keys.data());
+    });
+
+    std::printf("%8d %14.2f %14.2f %14.2f %14.2f %14.2f\n", lk,
+                ElementTimeNs(naive_hash, 1, n, 1),
+                ElementTimeNs(naive_sort, 1, n, 1),
+                ElementTimeNs(opt_hash, 1, n, 1),
+                ElementTimeNs(opt_sort, 1, n, 1),
+                ElementTimeNs(mergesort_ea, 1, n, 1));
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Section 3.3: processing-model comparison for column stores. Three ways
+// to evaluate SELECT key, SUM(v1..vC) GROUP BY key:
+//
+//   integrated  — this library: mapping vectors stay per-run (in cache),
+//                 aggregate columns processed in tight loops, recursive
+//                 cache-efficient partitioning (the X100-style model the
+//                 paper adopts inside the operator)
+//   col-at-time — MonetDB style: materialized mapping vector + per-column
+//                 aggregation directly into the output (naive HASHAGG
+//                 access pattern for large K)
+//   row-at-time — all columns of a row processed together against one
+//                 exact-key table (effectively an NSM operator)
+//
+// Usage: sec33_processing_models [--log_n=21] [--agg_cols=4]
+//        [--min_k_log=4] [--max_k_log=20]
+
+#include <cstdio>
+#include <vector>
+
+#include "agg_bench.h"
+#include "cea/columnar/column_at_a_time.h"
+#include "cea/core/routines.h"
+
+using namespace cea;        // NOLINT
+using namespace cea::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t n = uint64_t{1} << flags.GetUint("log_n", 21);
+  const int agg_cols = static_cast<int>(flags.GetUint("agg_cols", 4));
+  const int min_k = static_cast<int>(flags.GetUint("min_k_log", 4));
+  const int max_k = static_cast<int>(flags.GetUint("max_k_log", 20));
+  const int reps = static_cast<int>(flags.GetUint("reps", 1));
+
+  std::vector<Column> values;
+  std::vector<const Column*> value_ptrs;
+  std::vector<AggregateSpec> specs;
+  for (int c = 0; c < agg_cols; ++c) {
+    values.push_back(GenerateValues(n, 10 + c));
+  }
+  for (int c = 0; c < agg_cols; ++c) {
+    value_ptrs.push_back(&values[c]);
+    specs.push_back({AggFn::kSum, c});
+  }
+
+  std::printf("# Section 3.3: processing models, %d SUM columns, uniform, "
+              "N=2^%llu, 1 thread (element time over %d columns, ns)\n",
+              agg_cols, (unsigned long long)flags.GetUint("log_n", 21),
+              1 + agg_cols);
+  std::printf("%8s %14s %14s %14s\n", "log2(K)", "integrated",
+              "col-at-time", "row-at-time");
+
+  for (int lk = min_k; lk <= max_k; lk += 2) {
+    GenParams gp;
+    gp.n = n;
+    gp.k = uint64_t{1} << lk;
+    std::vector<uint64_t> keys = GenerateKeys(gp);
+
+    InputTable input;
+    input.keys = keys.data();
+    for (const Column* c : value_ptrs) input.values.push_back(c->data());
+    input.num_rows = n;
+
+    AggregationOptions options;
+    options.num_threads = 1;
+    double integrated =
+        TimeAggregation(keys, specs, value_ptrs, options, reps);
+
+    double col_at_time = MedianSeconds(reps, [&] {
+      ResultTable r = ColumnAtATimeAggregate(input, specs, gp.k);
+      DoNotOptimize(r.keys.data());
+    });
+
+    double row_at_time = MedianSeconds(reps, [&] {
+      StateLayout layout(specs);
+      Morsel m;
+      m.key_cols = {keys.data()};
+      m.n = n;
+      m.raw = true;
+      for (const Column* c : value_ptrs) m.cols.push_back(c->data());
+      Run out(1, layout);
+      AggregateExact({m}, 1, layout, gp.k, &out);
+      DoNotOptimize(out.size());
+    });
+
+    const int cols = 1 + agg_cols;
+    std::printf("%8d %14.2f %14.2f %14.2f\n", lk,
+                ElementTimeNs(integrated, 1, n, cols),
+                ElementTimeNs(col_at_time, 1, n, cols),
+                ElementTimeNs(row_at_time, 1, n, cols));
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Adaptive behavior, made visible: runs the same DISTINCT-style query on
+// three inputs — clustered, uniform-distinct, and their concatenation (a
+// "distribution change", as after a UNION ALL) — and prints how the
+// operator chose between HASHING and PARTITIONING in each case.
+//
+// Build & run:  ./build/examples/adaptive_telemetry
+
+#include <cstdio>
+#include <vector>
+
+#include "cea/core/aggregation_operator.h"
+#include "cea/datagen/generators.h"
+
+namespace {
+
+void Report(const char* label, const std::vector<uint64_t>& keys) {
+  cea::AggregationOptions options;
+  options.c = 5;  // react a bit faster to distribution changes
+  cea::AggregationOperator op({}, options);
+
+  cea::InputTable input;
+  input.keys = keys.data();
+  input.num_rows = keys.size();
+
+  cea::ResultTable result;
+  cea::ExecStats stats;
+  cea::Status status = op.Execute(input, &result, &stats);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.message().c_str());
+    std::exit(1);
+  }
+
+  double total = static_cast<double>(stats.rows_hashed +
+                                     stats.rows_partitioned);
+  std::printf("%-24s %9zu groups | hashed %5.1f%% partitioned %5.1f%% | "
+              "flushes %6llu | mean alpha %7.2f | switches h->p %llu, "
+              "p->h %llu\n",
+              label, result.num_groups(),
+              100.0 * stats.rows_hashed / total,
+              100.0 * stats.rows_partitioned / total,
+              (unsigned long long)stats.tables_flushed, stats.mean_alpha(),
+              (unsigned long long)stats.switches_to_partition,
+              (unsigned long long)stats.switches_to_hash);
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t n = 4'000'000;
+
+  // Clustered: every key repeats ~32 times within a narrow window. High
+  // locality -> early aggregation pays off -> the operator keeps hashing.
+  cea::GenParams clustered;
+  clustered.n = n;
+  clustered.k = n / 32;
+  clustered.dist = cea::Distribution::kMovingCluster;
+  clustered.cluster_window = 1024;
+  std::vector<uint64_t> clustered_keys = cea::GenerateKeys(clustered);
+
+  // Uniform with K = N: virtually no repetition. Hashing cannot reduce
+  // anything -> the operator switches to the faster partitioning.
+  cea::GenParams distinct;
+  distinct.n = n;
+  distinct.k = n;
+  std::vector<uint64_t> distinct_keys = cea::GenerateKeys(distinct);
+  // Shift the distinct keys out of the clustered key range so the
+  // concatenation below really has two regimes.
+  for (auto& k : distinct_keys) k += (uint64_t{1} << 32);
+
+  // Concatenation: the distribution changes mid-stream; the operator
+  // must adapt without planner knowledge (Section 5).
+  std::vector<uint64_t> mixed = clustered_keys;
+  mixed.insert(mixed.end(), distinct_keys.begin(), distinct_keys.end());
+
+  std::printf("ADAPTIVE operator telemetry on %llu-row inputs:\n\n",
+              (unsigned long long)n);
+  Report("clustered (repeats)", clustered_keys);
+  Report("uniform (distinct)", distinct_keys);
+  Report("clustered + distinct", mixed);
+
+  std::printf("\nReading: on clustered data hashing dominates (alpha >> "
+              "alpha0 = 11);\non distinct data the operator partitions; on "
+              "the concatenation it switches\nper-thread and per-region, "
+              "with no planner hints.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Quickstart: GROUP BY with SUM and COUNT over a small table.
+//
+//   SELECT key, SUM(amount), COUNT(*) FROM t GROUP BY key;
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "cea/core/aggregation_operator.h"
+
+int main() {
+  // A tiny input relation in column-major form. In a real system these
+  // would be the column vectors of a column store.
+  cea::Column keys = {1, 2, 1, 3, 2, 1, 3, 3, 3};
+  cea::Column amounts = {10, 20, 30, 5, 40, 2, 5, 5, 5};
+
+  // SELECT key, SUM(amount), COUNT(*) ... GROUP BY key
+  cea::AggregationOperator op({
+      {cea::AggFn::kSum, 0},
+      {cea::AggFn::kCount, -1},
+  });
+
+  cea::ResultTable result;
+  cea::Status status = op.Execute(
+      cea::InputTable::FromColumns(keys, {&amounts}), &result);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.message().c_str());
+    return 1;
+  }
+
+  std::printf("%8s %12s %8s\n", "key", "SUM(amount)", "COUNT");
+  for (size_t i = 0; i < result.num_groups(); ++i) {
+    std::printf("%8llu %12llu %8llu\n",
+                (unsigned long long)result.keys[i],
+                (unsigned long long)result.aggregates[0].u64[i],
+                (unsigned long long)result.aggregates[1].u64[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// ATOMIC (Cieslewicz & Ross): all threads aggregate into a single shared
+// hash table protected by atomic instructions. One pass; cache-efficient
+// until the shared table exceeds the combined L3.
+
+#include "cea/baselines/baseline.h"
+
+namespace cea {
+namespace {
+
+constexpr size_t kChunkRows = size_t{1} << 16;
+
+class AtomicBaseline final : public GroupCountBaseline {
+ public:
+  explicit AtomicBaseline(size_t l3_bytes) : l3_bytes_(l3_bytes) {}
+
+  GroupCounts Run(const uint64_t* keys, size_t n, size_t k_hint,
+                  TaskScheduler& pool) override {
+    AtomicCountTable table(BaselineTableCapacity(k_hint, l3_bytes_));
+    size_t chunks = CeilDiv(n, kChunkRows);
+    pool.ParallelFor(chunks, [&](int worker_id, size_t c) {
+      size_t begin = c * kChunkRows;
+      size_t end = std::min(n, begin + kChunkRows);
+      for (size_t i = begin; i < end; ++i) {
+        table.Add(keys[i], 1);
+      }
+    });
+    return table.Extract();
+  }
+
+  std::string Name() const override { return "Atomic"; }
+
+ private:
+  size_t l3_bytes_;
+};
+
+}  // namespace
+
+std::unique_ptr<GroupCountBaseline> MakeAtomicBaseline(size_t l3_bytes) {
+  return std::make_unique<AtomicBaseline>(l3_bytes);
+}
+
+}  // namespace cea

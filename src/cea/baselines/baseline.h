@@ -1,0 +1,131 @@
+// Common interface and shared structures of the prior-work baselines
+// (Section 6.4): the in-memory aggregation algorithms of Cieslewicz &
+// Ross and Ye et al., re-implemented from the paper's descriptions with
+// the paper's tuning applied (L3-sized minimum tables, MurmurHash2, lean
+// tuples, spin-style synchronization).
+//
+// Following the paper's comparison methodology, the baselines process a
+// DISTINCT-style query — a single 64-bit grouping column, counting rows
+// per group — which abstracts from row-store/column-store architectural
+// differences. All baselines receive the true output cardinality K, which
+// they rely on to size their data structures (ADAPTIVE does not need it).
+//
+// Keys must be non-zero: the shared atomic table uses 0 as its empty
+// sentinel, as the original implementations did.
+
+#ifndef CEA_BASELINES_BASELINE_H_
+#define CEA_BASELINES_BASELINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cea/common/bits.h"
+#include "cea/common/check.h"
+#include "cea/common/machine.h"
+#include "cea/exec/task_scheduler.h"
+#include "cea/hash/murmur.h"
+
+namespace cea {
+
+struct GroupCounts {
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> counts;
+  size_t num_groups() const { return keys.size(); }
+};
+
+class GroupCountBaseline {
+ public:
+  virtual ~GroupCountBaseline() = default;
+
+  // Counts rows per key over keys[0..n). `k_hint` is the true output
+  // cardinality; `pool` provides the worker threads.
+  virtual GroupCounts Run(const uint64_t* keys, size_t n, size_t k_hint,
+                          TaskScheduler& pool) = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+// Shared open-addressing table with atomic slot claiming (the core of the
+// ATOMIC and HYBRID algorithms). Linear probing; a slot is claimed with a
+// CAS on the key word, counts are added with fetch_add.
+class AtomicCountTable {
+ public:
+  explicit AtomicCountTable(size_t capacity_pow2)
+      : keys_(capacity_pow2), counts_(capacity_pow2),
+        mask_(capacity_pow2 - 1) {
+    CEA_CHECK(IsPowerOfTwo(capacity_pow2));
+    for (size_t i = 0; i < capacity_pow2; ++i) {
+      keys_[i].store(0, std::memory_order_relaxed);
+      counts_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // Adds `count` to `key`'s group (key != 0).
+  void Add(uint64_t key, uint64_t count) {
+    CEA_DCHECK(key != 0);
+    size_t i = MurmurHash64(key) & mask_;
+    while (true) {
+      uint64_t cur = keys_[i].load(std::memory_order_acquire);
+      if (cur == key) {
+        counts_[i].fetch_add(count, std::memory_order_relaxed);
+        return;
+      }
+      if (cur == 0) {
+        uint64_t expected = 0;
+        if (keys_[i].compare_exchange_strong(expected, key,
+                                             std::memory_order_acq_rel)) {
+          counts_[i].fetch_add(count, std::memory_order_relaxed);
+          return;
+        }
+        if (expected == key) {
+          counts_[i].fetch_add(count, std::memory_order_relaxed);
+          return;
+        }
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  GroupCounts Extract() const {
+    GroupCounts out;
+    for (size_t i = 0; i <= mask_; ++i) {
+      uint64_t key = keys_[i].load(std::memory_order_relaxed);
+      if (key != 0) {
+        out.keys.push_back(key);
+        out.counts.push_back(counts_[i].load(std::memory_order_relaxed));
+      }
+    }
+    return out;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<std::atomic<uint64_t>> keys_;
+  std::vector<std::atomic<uint64_t>> counts_;
+  size_t mask_;
+};
+
+// Table capacity used by the baselines: at least twice the (known) output
+// cardinality, and at least the L3 size — the Section 6.4 tuning that
+// "effectively eliminates collision resolution for small K".
+inline size_t BaselineTableCapacity(size_t k_hint, size_t l3_bytes) {
+  size_t min_slots = l3_bytes / (2 * sizeof(uint64_t));
+  size_t want = k_hint * 2 > min_slots ? k_hint * 2 : min_slots;
+  return CeilPowerOfTwo(want);
+}
+
+// Factories.
+std::unique_ptr<GroupCountBaseline> MakeAtomicBaseline(size_t l3_bytes);
+std::unique_ptr<GroupCountBaseline> MakeIndependentBaseline(size_t l3_bytes);
+std::unique_ptr<GroupCountBaseline> MakeHybridBaseline(size_t l3_bytes);
+std::unique_ptr<GroupCountBaseline> MakePartitionAndAggregateBaseline(
+    size_t l3_bytes);
+std::unique_ptr<GroupCountBaseline> MakePlatBaseline(size_t l3_bytes);
+
+}  // namespace cea
+
+#endif  // CEA_BASELINES_BASELINE_H_

@@ -1,0 +1,107 @@
+// HYBRID (Cieslewicz & Ross): one pass. Each thread aggregates into a
+// small private table fixed to its share of the L3; when an insert finds
+// no room in its probe neighborhood, an old entry is evicted into a
+// global shared atomic table (LRU-like behavior keeps "hot" groups
+// private). Efficient while most of the output fits into the private
+// tables; beyond that nearly every row takes the global-table path.
+
+#include "cea/baselines/baseline.h"
+
+namespace cea {
+namespace {
+
+constexpr size_t kChunkRows = size_t{1} << 16;
+constexpr size_t kProbeWindow = 8;
+
+// Fixed-capacity private table with bounded probing and eviction.
+class PrivateCountTable {
+ public:
+  explicit PrivateCountTable(size_t capacity_pow2)
+      : keys_(capacity_pow2, 0), counts_(capacity_pow2, 0),
+        mask_(capacity_pow2 - 1) {}
+
+  // Counts `key`; on a full probe window, evicts the entry at the probe
+  // start into `overflow` and takes its slot.
+  void Add(uint64_t key, AtomicCountTable* overflow) {
+    size_t start = MurmurHash64(key) & mask_;
+    size_t i = start;
+    for (size_t probes = 0; probes < kProbeWindow; ++probes) {
+      if (keys_[i] == key) {
+        ++counts_[i];
+        return;
+      }
+      if (keys_[i] == 0) {
+        keys_[i] = key;
+        counts_[i] = 1;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    overflow->Add(keys_[start], counts_[start]);
+    keys_[start] = key;
+    counts_[start] = 1;
+  }
+
+  void FlushTo(AtomicCountTable* global) {
+    for (size_t i = 0; i <= mask_; ++i) {
+      if (keys_[i] != 0) {
+        global->Add(keys_[i], counts_[i]);
+        keys_[i] = 0;
+        counts_[i] = 0;
+      }
+    }
+  }
+
+ private:
+  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> counts_;
+  size_t mask_;
+};
+
+class HybridBaseline final : public GroupCountBaseline {
+ public:
+  explicit HybridBaseline(size_t l3_bytes) : l3_bytes_(l3_bytes) {}
+
+  GroupCounts Run(const uint64_t* keys, size_t n, size_t k_hint,
+                  TaskScheduler& pool) override {
+    const int threads = pool.num_threads();
+    AtomicCountTable global(BaselineTableCapacity(k_hint, l3_bytes_));
+
+    size_t private_bytes = l3_bytes_ / static_cast<size_t>(threads);
+    size_t private_slots =
+        FloorPowerOfTwo(std::max<size_t>(private_bytes / 16, 1024));
+
+    std::vector<std::unique_ptr<PrivateCountTable>> privates(threads);
+    for (int t = 0; t < threads; ++t) {
+      privates[t] = std::make_unique<PrivateCountTable>(private_slots);
+    }
+
+    size_t chunks = CeilDiv(n, kChunkRows);
+    pool.ParallelFor(chunks, [&](int worker_id, size_t c) {
+      PrivateCountTable& mine = *privates[worker_id];
+      size_t begin = c * kChunkRows;
+      size_t end = std::min(n, begin + kChunkRows);
+      for (size_t i = begin; i < end; ++i) {
+        mine.Add(keys[i], &global);
+      }
+    });
+
+    pool.ParallelFor(threads, [&](int worker_id, size_t t) {
+      privates[t]->FlushTo(&global);
+    });
+    return global.Extract();
+  }
+
+  std::string Name() const override { return "Hybrid"; }
+
+ private:
+  size_t l3_bytes_;
+};
+
+}  // namespace
+
+std::unique_ptr<GroupCountBaseline> MakeHybridBaseline(size_t l3_bytes) {
+  return std::make_unique<HybridBaseline>(l3_bytes);
+}
+
+}  // namespace cea

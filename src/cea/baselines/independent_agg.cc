@@ -1,0 +1,82 @@
+// INDEPENDENT (Cieslewicz & Ross): two passes. Pass 1 builds one private
+// hash table per thread over its share of the input; pass 2 splits the
+// hash space into one range per thread and merges the private tables'
+// entries of each range in parallel. Both passes can exceed the per-thread
+// cache share, which bounds the K range where the algorithm is efficient.
+
+#include "cea/baselines/baseline.h"
+
+#include <mutex>
+
+#include "cea/columnar/aggregate_function.h"
+#include "cea/table/growable_hash_table.h"
+
+namespace cea {
+namespace {
+
+class IndependentBaseline final : public GroupCountBaseline {
+ public:
+  explicit IndependentBaseline(size_t l3_bytes) : l3_bytes_(l3_bytes) {}
+
+  GroupCounts Run(const uint64_t* keys, size_t n, size_t k_hint,
+                  TaskScheduler& pool) override {
+    const int threads = pool.num_threads();
+    StateLayout layout({{AggFn::kCount, -1}});
+
+    // Pass 1: static range split, one private table per range.
+    std::vector<std::unique_ptr<GrowableHashTable>> tables(threads);
+    pool.ParallelFor(threads, [&](int worker_id, size_t t) {
+      size_t begin = n * t / threads;
+      size_t end = n * (t + 1) / threads;
+      auto table = std::make_unique<GrowableHashTable>(
+          layout, k_hint / threads + 16);
+      for (size_t i = begin; i < end; ++i) {
+        size_t slot = table->FindOrInsert(keys[i]);
+        table->state_array(0)[slot] += 1;
+      }
+      tables[t] = std::move(table);
+    });
+
+    // Pass 2: merge by hash range; range r owns hashes with top bits == r.
+    std::vector<GroupCounts> partials(threads);
+    pool.ParallelFor(threads, [&](int worker_id, size_t r) {
+      GrowableHashTable merged(layout, k_hint / threads + 16);
+      for (const auto& table : tables) {
+        table->ForEachSlot([&](size_t slot) {
+          uint64_t key = table->key_array()[slot];
+          size_t range = static_cast<size_t>(
+              (static_cast<__uint128_t>(MurmurHash64(key)) * threads) >> 64);
+          if (range != r) return;
+          size_t m = merged.FindOrInsert(key);
+          merged.state_array(0)[m] += table->state_array(0)[slot];
+        });
+      }
+      GroupCounts& out = partials[r];
+      merged.ForEachSlot([&](size_t slot) {
+        out.keys.push_back(merged.key_array()[slot]);
+        out.counts.push_back(merged.state_array(0)[slot]);
+      });
+    });
+
+    GroupCounts result;
+    for (GroupCounts& p : partials) {
+      result.keys.insert(result.keys.end(), p.keys.begin(), p.keys.end());
+      result.counts.insert(result.counts.end(), p.counts.begin(),
+                           p.counts.end());
+    }
+    return result;
+  }
+
+  std::string Name() const override { return "Independent"; }
+
+ private:
+  size_t l3_bytes_;
+};
+
+}  // namespace
+
+std::unique_ptr<GroupCountBaseline> MakeIndependentBaseline(size_t l3_bytes) {
+  return std::make_unique<IndependentBaseline>(l3_bytes);
+}
+
+}  // namespace cea

@@ -1,0 +1,79 @@
+// PARTITION-AND-AGGREGATE (Ye et al.): two passes. Pass 1 partitions the
+// entire input 256 ways by hash value (with the naive partitioning scheme
+// of Section 4.2 — no software write-combining); pass 2 aggregates each
+// partition into its own hash table. Like PartitionAlways limited to two
+// passes: the merge stops being cache-efficient once K exceeds 256 times
+// the cache.
+
+#include "cea/baselines/baseline.h"
+
+#include "cea/columnar/aggregate_function.h"
+#include "cea/hash/radix.h"
+#include "cea/table/growable_hash_table.h"
+
+namespace cea {
+namespace {
+
+class PartitionAndAggregateBaseline final : public GroupCountBaseline {
+ public:
+  explicit PartitionAndAggregateBaseline(size_t l3_bytes)
+      : l3_bytes_(l3_bytes) {}
+
+  GroupCounts Run(const uint64_t* keys, size_t n, size_t k_hint,
+                  TaskScheduler& pool) override {
+    const int threads = pool.num_threads();
+    StateLayout layout({{AggFn::kCount, -1}});
+
+    // Pass 1: naive partitioning into per-thread partition vectors.
+    std::vector<std::vector<std::vector<uint64_t>>> parts(
+        threads, std::vector<std::vector<uint64_t>>(kFanOut));
+    pool.ParallelFor(threads, [&](int worker_id, size_t t) {
+      size_t begin = n * t / threads;
+      size_t end = n * (t + 1) / threads;
+      auto& mine = parts[t];
+      for (size_t i = begin; i < end; ++i) {
+        uint32_t d = RadixDigit(MurmurHash64(keys[i]), 0);
+        mine[d].push_back(keys[i]);
+      }
+    });
+
+    // Pass 2: aggregate each partition.
+    std::vector<GroupCounts> partials(kFanOut);
+    pool.ParallelFor(kFanOut, [&](int worker_id, size_t p) {
+      GrowableHashTable table(layout, k_hint / kFanOut + 16);
+      for (int t = 0; t < threads; ++t) {
+        for (uint64_t key : parts[t][p]) {
+          size_t slot = table.FindOrInsert(key);
+          table.state_array(0)[slot] += 1;
+        }
+      }
+      GroupCounts& out = partials[p];
+      table.ForEachSlot([&](size_t slot) {
+        out.keys.push_back(table.key_array()[slot]);
+        out.counts.push_back(table.state_array(0)[slot]);
+      });
+    });
+
+    GroupCounts result;
+    for (GroupCounts& p : partials) {
+      result.keys.insert(result.keys.end(), p.keys.begin(), p.keys.end());
+      result.counts.insert(result.counts.end(), p.counts.begin(),
+                           p.counts.end());
+    }
+    return result;
+  }
+
+  std::string Name() const override { return "Partition&Aggregate"; }
+
+ private:
+  size_t l3_bytes_;
+};
+
+}  // namespace
+
+std::unique_ptr<GroupCountBaseline> MakePartitionAndAggregateBaseline(
+    size_t l3_bytes) {
+  return std::make_unique<PartitionAndAggregateBaseline>(l3_bytes);
+}
+
+}  // namespace cea

@@ -1,0 +1,104 @@
+// PLAT — Partition with Local Aggregation Table (Ye et al.): two passes.
+// Each thread aggregates into a private cache-sized table; once the table
+// is full, rows whose group is not yet in it overflow into 256 hash
+// partitions. Pass 2 merges, per partition, the overflowed rows and the
+// matching block of every private table. The merge has the same
+// K > 256 * cache efficiency limit as PARTITION-AND-AGGREGATE.
+
+#include "cea/baselines/baseline.h"
+
+#include "cea/columnar/aggregate_function.h"
+#include "cea/hash/radix.h"
+#include "cea/table/blocked_hash_table.h"
+#include "cea/table/growable_hash_table.h"
+
+namespace cea {
+namespace {
+
+class PlatBaseline final : public GroupCountBaseline {
+ public:
+  explicit PlatBaseline(size_t l3_bytes) : l3_bytes_(l3_bytes) {}
+
+  GroupCounts Run(const uint64_t* keys, size_t n, size_t k_hint,
+                  TaskScheduler& pool) override {
+    const int threads = pool.num_threads();
+    StateLayout layout({{AggFn::kCount, -1}});
+    size_t private_bytes = l3_bytes_ / static_cast<size_t>(threads);
+
+    struct ThreadState {
+      std::unique_ptr<BlockedOpenHashTable> table;
+      std::vector<std::vector<uint64_t>> overflow;
+    };
+    std::vector<ThreadState> states(threads);
+
+    // Pass 1: private aggregation with partition overflow. The private
+    // table uses a generous fill cap — PLAT keeps using the table after it
+    // stops accepting new groups (existing groups still aggregate).
+    pool.ParallelFor(threads, [&](int worker_id, size_t t) {
+      ThreadState& st = states[t];
+      st.table = std::make_unique<BlockedOpenHashTable>(private_bytes, layout,
+                                                        /*max_fill=*/0.5);
+      st.overflow.resize(kFanOut);
+      size_t begin = n * t / threads;
+      size_t end = n * (t + 1) / threads;
+      for (size_t i = begin; i < end; ++i) {
+        uint64_t key = keys[i];
+        uint64_t hash = MurmurHash64(key);
+        uint32_t slot = st.table->FindOrInsert(key, hash, /*level=*/0);
+        if (slot == BlockedOpenHashTable::kFull) {
+          st.overflow[RadixDigit(hash, 0)].push_back(key);
+        } else {
+          st.table->state_array(0)[slot] += 1;
+        }
+      }
+    });
+
+    // Pass 2: per partition, merge overflow rows and the matching block of
+    // every private table.
+    std::vector<GroupCounts> partials(kFanOut);
+    pool.ParallelFor(kFanOut, [&](int worker_id, size_t p) {
+      GrowableHashTable merged(layout, k_hint / kFanOut + 16);
+      for (int t = 0; t < threads; ++t) {
+        const ThreadState& st = states[t];
+        for (uint64_t key : st.overflow[p]) {
+          size_t slot = merged.FindOrInsert(key);
+          merged.state_array(0)[slot] += 1;
+        }
+        const BlockedOpenHashTable& table = *st.table;
+        uint32_t base = static_cast<uint32_t>(p) * table.block_capacity();
+        for (uint32_t i = 0; i < table.block_capacity(); ++i) {
+          uint32_t slot = base + i;
+          if (!table.TestOccupied(slot)) continue;
+          size_t m = merged.FindOrInsert(table.key_array()[slot]);
+          merged.state_array(0)[m] += table.state_array(0)[slot];
+        }
+      }
+      GroupCounts& out = partials[p];
+      merged.ForEachSlot([&](size_t slot) {
+        out.keys.push_back(merged.key_array()[slot]);
+        out.counts.push_back(merged.state_array(0)[slot]);
+      });
+    });
+
+    GroupCounts result;
+    for (GroupCounts& p : partials) {
+      result.keys.insert(result.keys.end(), p.keys.begin(), p.keys.end());
+      result.counts.insert(result.counts.end(), p.counts.begin(),
+                           p.counts.end());
+    }
+    return result;
+  }
+
+  std::string Name() const override { return "PLAT"; }
+
+ private:
+  size_t l3_bytes_;
+};
+
+}  // namespace
+
+std::unique_ptr<GroupCountBaseline> MakePlatBaseline(size_t l3_bytes) {
+  return std::make_unique<PlatBaseline>(l3_bytes);
+}
+
+}  // namespace cea

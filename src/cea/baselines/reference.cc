@@ -1,0 +1,116 @@
+#include "cea/baselines/reference.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "cea/common/check.h"
+
+namespace cea {
+namespace {
+
+using KeyTuple = std::vector<uint64_t>;
+
+KeyTuple KeyAt(const InputTable& input, size_t i) {
+  KeyTuple key;
+  key.reserve(input.key_columns());
+  key.push_back(input.keys[i]);
+  for (const uint64_t* extra : input.extra_keys) key.push_back(extra[i]);
+  return key;
+}
+
+}  // namespace
+
+ResultTable ReferenceAggregate(const InputTable& input,
+                               const std::vector<AggregateSpec>& specs) {
+  StateLayout layout(specs);
+  // std::map keeps groups sorted by the full key tuple, giving the
+  // deterministic output order the tests compare against.
+  std::map<KeyTuple, std::vector<uint64_t>> groups;
+
+  for (size_t i = 0; i < input.num_rows; ++i) {
+    auto [it, inserted] = groups.try_emplace(KeyAt(input, i));
+    std::vector<uint64_t>& state = it->second;
+    if (inserted) {
+      state.resize(layout.total_words);
+      for (size_t s = 0; s < specs.size(); ++s) {
+        if (specs[s].fn == AggFn::kMin) {
+          state[layout.word_offset[s]] = ~uint64_t{0};
+        }
+      }
+    }
+    for (size_t s = 0; s < specs.size(); ++s) {
+      const AggFn fn = specs[s].fn;
+      const int off = layout.word_offset[s];
+      uint64_t raw =
+          NeedsInput(fn) ? input.values[specs[s].input_column][i] : 0;
+      uint64_t incoming[2];
+      InitStateFromRaw(fn, raw, incoming);
+      MergeState(fn, incoming, state.data() + off);
+    }
+  }
+
+  ResultTable result;
+  result.extra_keys.resize(input.key_columns() - 1);
+  result.aggregates.resize(specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    result.aggregates[s].fn = specs[s].fn;
+  }
+  for (const auto& [key, state] : groups) {
+    result.keys.push_back(key[0]);
+    for (size_t w = 1; w < key.size(); ++w) {
+      result.extra_keys[w - 1].push_back(key[w]);
+    }
+    for (size_t s = 0; s < specs.size(); ++s) {
+      ResultColumn& col = result.aggregates[s];
+      const int off = layout.word_offset[s];
+      if (col.fn == AggFn::kAvg) {
+        col.f64.push_back(state[off + 1] == 0
+                              ? 0.0
+                              : static_cast<double>(state[off]) /
+                                    static_cast<double>(state[off + 1]));
+      } else {
+        col.u64.push_back(state[off]);
+      }
+    }
+  }
+  return result;
+}
+
+void SortResultByKey(ResultTable* table) {
+  const size_t n = table->keys.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (table->keys[a] != table->keys[b]) {
+      return table->keys[a] < table->keys[b];
+    }
+    for (const auto& col : table->extra_keys) {
+      if (col[a] != col[b]) return col[a] < col[b];
+    }
+    return false;
+  });
+
+  auto permute_u64 = [&](std::vector<uint64_t>& v) {
+    CEA_CHECK(v.size() == n);
+    std::vector<uint64_t> out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = v[order[i]];
+    v = std::move(out);
+  };
+
+  permute_u64(table->keys);
+  for (auto& col : table->extra_keys) permute_u64(col);
+
+  for (ResultColumn& col : table->aggregates) {
+    if (!col.u64.empty()) permute_u64(col.u64);
+    if (!col.f64.empty()) {
+      CEA_CHECK(col.f64.size() == n);
+      std::vector<double> out(n);
+      for (size_t i = 0; i < n; ++i) out[i] = col.f64[order[i]];
+      col.f64 = std::move(out);
+    }
+  }
+}
+
+}  // namespace cea

@@ -1,0 +1,29 @@
+// Scalar reference aggregator used as the test oracle.
+//
+// A straightforward std::unordered_map implementation of GROUP BY with the
+// same aggregate semantics as the operator. Slow and simple on purpose —
+// every integration test checks the operator (and every baseline) against
+// this.
+
+#ifndef CEA_BASELINES_REFERENCE_H_
+#define CEA_BASELINES_REFERENCE_H_
+
+#include <vector>
+
+#include "cea/columnar/aggregate_function.h"
+#include "cea/columnar/column.h"
+
+namespace cea {
+
+// Aggregates `input` according to `specs`; groups are returned sorted by
+// key so results can be compared deterministically.
+ResultTable ReferenceAggregate(const InputTable& input,
+                               const std::vector<AggregateSpec>& specs);
+
+// Sorts a ResultTable's rows by key in place (for comparing against the
+// reference, whose output is sorted).
+void SortResultByKey(ResultTable* table);
+
+}  // namespace cea
+
+#endif  // CEA_BASELINES_REFERENCE_H_

@@ -1,0 +1,24 @@
+#include "cea/columnar/aggregate_function.h"
+
+namespace cea {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount: return "COUNT";
+    case AggFn::kSum: return "SUM";
+    case AggFn::kMin: return "MIN";
+    case AggFn::kMax: return "MAX";
+    case AggFn::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+StateLayout::StateLayout(const std::vector<AggregateSpec>& s) : specs(s) {
+  word_offset.reserve(specs.size());
+  for (const AggregateSpec& spec : specs) {
+    word_offset.push_back(total_words);
+    total_words += StateWords(spec.fn);
+  }
+}
+
+}  // namespace cea

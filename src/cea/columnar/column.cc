@@ -1,0 +1,3 @@
+#include "cea/columnar/column.h"
+
+// Currently header-only; this translation unit anchors the target.

@@ -1,0 +1,85 @@
+// Column / table / result types of the public API.
+//
+// Matching the paper's experimental setup (Section 6.1), all input columns
+// are 64-bit integers: one grouping column plus any number of aggregate
+// input columns. Results expose the group keys and one output column per
+// requested aggregate (AVG as double, everything else as uint64).
+
+#ifndef CEA_COLUMNAR_COLUMN_H_
+#define CEA_COLUMNAR_COLUMN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cea/columnar/aggregate_function.h"
+#include "cea/common/check.h"
+
+namespace cea {
+
+// A column is a contiguous vector of 64-bit values. The operator only ever
+// reads input columns; ownership stays with the caller.
+using Column = std::vector<uint64_t>;
+
+// Non-owning view of an input relation in column-major form. Grouping is
+// by the composite key (keys, extra_keys[0], extra_keys[1], ...); the
+// common single-column GROUP BY uses only `keys`.
+struct InputTable {
+  const uint64_t* keys = nullptr;             // first grouping column
+  std::vector<const uint64_t*> extra_keys;    // further grouping columns
+  std::vector<const uint64_t*> values;        // aggregate input columns
+  size_t num_rows = 0;
+
+  int key_columns() const {
+    return 1 + static_cast<int>(extra_keys.size());
+  }
+
+  // Convenience constructor from owned vectors (lifetimes must outlive the
+  // aggregation call).
+  static InputTable FromColumns(const Column& key_col,
+                                const std::vector<const Column*>& value_cols) {
+    InputTable t;
+    t.keys = key_col.data();
+    t.num_rows = key_col.size();
+    for (const Column* c : value_cols) {
+      CEA_CHECK(c->size() == t.num_rows);
+      t.values.push_back(c->data());
+    }
+    return t;
+  }
+
+  // Multi-column GROUP BY variant: key_cols must be non-empty.
+  static InputTable FromKeyColumns(
+      const std::vector<const Column*>& key_cols,
+      const std::vector<const Column*>& value_cols) {
+    CEA_CHECK(!key_cols.empty());
+    InputTable t = FromColumns(*key_cols[0], value_cols);
+    for (size_t i = 1; i < key_cols.size(); ++i) {
+      CEA_CHECK(key_cols[i]->size() == t.num_rows);
+      t.extra_keys.push_back(key_cols[i]->data());
+    }
+    return t;
+  }
+};
+
+// One output column of an aggregation result.
+struct ResultColumn {
+  AggFn fn;
+  std::vector<uint64_t> u64;   // COUNT/SUM/MIN/MAX
+  std::vector<double> f64;     // AVG
+};
+
+// Aggregation result: group keys (in unspecified order) with one entry per
+// group in each aggregate column. For composite grouping keys, `keys` is
+// the first key column and `extra_keys` holds the remaining ones, in the
+// input's order.
+struct ResultTable {
+  std::vector<uint64_t> keys;
+  std::vector<std::vector<uint64_t>> extra_keys;
+  std::vector<ResultColumn> aggregates;
+
+  size_t num_groups() const { return keys.size(); }
+};
+
+}  // namespace cea
+
+#endif  // CEA_COLUMNAR_COLUMN_H_

@@ -1,0 +1,51 @@
+// Column-at-a-time aggregation in the MonetDB style (Section 3.3,
+// Figure 2), for comparison with the operator's integrated column-wise
+// processing.
+//
+// The pipeline is split into two full-materialization operators:
+//  1. GroupIdPass processes the grouping column alone and produces the
+//     list of group keys plus a *mapping vector* — for every input row
+//     the dense id of its group — materialized to memory.
+//  2. ApplyMappingAggregate is executed once per aggregate column: it
+//     aggregates every input value directly into the output column at the
+//     position given by the mapping vector.
+//
+// The paper's §3.3 critique, reproducible with the sec33 bench: the
+// mapping vector costs an extra write+read of 4 bytes per row and — more
+// importantly — step 2 has the naive HASHAGGREGATION access pattern, so
+// every aggregate column touches random output positions and misses the
+// cache for large K.
+
+#ifndef CEA_COLUMNAR_COLUMN_AT_A_TIME_H_
+#define CEA_COLUMNAR_COLUMN_AT_A_TIME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cea/columnar/aggregate_function.h"
+#include "cea/columnar/column.h"
+
+namespace cea {
+
+struct GroupIdResult {
+  std::vector<uint64_t> group_keys;   // key of group id g
+  std::vector<uint32_t> mapping;      // per input row: its group id
+};
+
+// Operator 1: grouping column -> (group keys, mapping vector).
+GroupIdResult GroupIdPass(const uint64_t* keys, size_t n, size_t k_hint);
+
+// Operator 2: aggregates `values` into one output column of size
+// num_groups, following the mapping vector.
+ResultColumn ApplyMappingAggregate(const GroupIdResult& groups,
+                                   const uint64_t* values, size_t n,
+                                   AggFn fn);
+
+// The full two-operator pipeline for a list of aggregates.
+ResultTable ColumnAtATimeAggregate(const InputTable& input,
+                                   const std::vector<AggregateSpec>& specs,
+                                   size_t k_hint);
+
+}  // namespace cea
+
+#endif  // CEA_COLUMNAR_COLUMN_AT_A_TIME_H_

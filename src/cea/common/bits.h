@@ -1,0 +1,47 @@
+// Small bit-manipulation helpers shared across the library.
+
+#ifndef CEA_COMMON_BITS_H_
+#define CEA_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "cea/common/check.h"
+
+namespace cea {
+
+// Returns true iff x is a power of two (0 is not).
+constexpr bool IsPowerOfTwo(uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+// Smallest power of two >= x (x must be >= 1 and representable).
+constexpr uint64_t CeilPowerOfTwo(uint64_t x) {
+  return x <= 1 ? 1 : uint64_t{1} << (64 - std::countl_zero(x - 1));
+}
+
+// Largest power of two <= x (x must be >= 1).
+constexpr uint64_t FloorPowerOfTwo(uint64_t x) {
+  return uint64_t{1} << (63 - std::countl_zero(x));
+}
+
+// floor(log2(x)) for x >= 1.
+constexpr int FloorLog2(uint64_t x) { return 63 - std::countl_zero(x); }
+
+// ceil(log2(x)) for x >= 1.
+constexpr int CeilLog2(uint64_t x) {
+  return x <= 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+// Integer division rounding up.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+// Rounds x up to the next multiple of `multiple` (a power of two).
+constexpr uint64_t RoundUp(uint64_t x, uint64_t multiple) {
+  CEA_DCHECK(IsPowerOfTwo(multiple));
+  return (x + multiple - 1) & ~(multiple - 1);
+}
+
+}  // namespace cea
+
+#endif  // CEA_COMMON_BITS_H_

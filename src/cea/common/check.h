@@ -1,0 +1,45 @@
+// Assertion macros for internal invariants.
+//
+// The library does not use exceptions (hot paths must stay branch-lean and
+// the operator is designed to be embedded in engines that compile without
+// them). Broken internal invariants abort the process with a location
+// message; user-facing argument validation goes through cea::Status instead
+// (see cea/common/status.h).
+
+#ifndef CEA_COMMON_CHECK_H_
+#define CEA_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Always-on invariant check. Use for conditions whose cost is negligible
+// relative to the surrounding work (per-run, per-pass, per-table checks).
+#define CEA_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (__builtin_expect(!(cond), 0)) {                                     \
+      std::fprintf(stderr, "CEA_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Message-carrying variant for user-visible misconfiguration.
+#define CEA_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (__builtin_expect(!(cond), 0)) {                                     \
+      std::fprintf(stderr, "CEA_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   msg, __FILE__, __LINE__);                                \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Debug-only check for per-element conditions on hot paths.
+#ifdef NDEBUG
+#define CEA_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define CEA_DCHECK(cond) CEA_CHECK(cond)
+#endif
+
+#endif  // CEA_COMMON_CHECK_H_

@@ -1,0 +1,43 @@
+#include "cea/common/machine.h"
+
+#include <unistd.h>
+
+#include <thread>
+
+namespace cea {
+
+MachineInfo DetectMachine() {
+  MachineInfo info;
+
+  unsigned hw = std::thread::hardware_concurrency();
+  info.hardware_threads = hw == 0 ? 1 : static_cast<int>(hw);
+
+#ifdef _SC_LEVEL3_CACHE_SIZE
+  long l3 = sysconf(_SC_LEVEL3_CACHE_SIZE);
+  if (l3 <= 0) {
+    // Some kernels report the LLC as "level 4" or only expose L2.
+    l3 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+  }
+  if (l3 > 0) {
+    info.l3_bytes_total = static_cast<size_t>(l3);
+  }
+#endif
+  info.l3_bytes_per_thread =
+      info.l3_bytes_total / static_cast<size_t>(info.hardware_threads);
+  // Clamp the per-thread share to a realistic per-core L3 slice. Real
+  // parts have 2-4 MiB of L3 per core; virtualized environments often
+  // report the whole socket's L3 against a handful of visible CPUs, which
+  // would make the "cache-sized" hash table hundreds of megabytes — far
+  // outside any cache a single core can keep warm.
+  constexpr size_t kMinPerThread = 1 << 20;  // 1 MiB
+  constexpr size_t kMaxPerThread = 4 << 20;  // 4 MiB
+  if (info.l3_bytes_per_thread < kMinPerThread) {
+    info.l3_bytes_per_thread = kMinPerThread;
+  }
+  if (info.l3_bytes_per_thread > kMaxPerThread) {
+    info.l3_bytes_per_thread = kMaxPerThread;
+  }
+  return info;
+}
+
+}  // namespace cea

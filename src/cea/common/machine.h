@@ -1,0 +1,39 @@
+// Machine/topology parameters used to size the cache-resident structures.
+//
+// The paper (Section 4, 6.1) fixes the HASHING table to the size of the L3
+// cache share of a core and uses a 256-way partitioning fan-out. Both are
+// runtime parameters here so the operator can be re-tuned for a target
+// machine and so tests can force deep recursions with tiny caches.
+
+#ifndef CEA_COMMON_MACHINE_H_
+#define CEA_COMMON_MACHINE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cea {
+
+// Width of a cache line in bytes on every x86-64 part we target.
+inline constexpr size_t kCacheLineBytes = 64;
+
+// Machine description. Defaults come from DetectMachine(); every field can
+// be overridden to model a different memory hierarchy.
+struct MachineInfo {
+  // Usable last-level cache per worker thread, in bytes. Sizes the HASHING
+  // table (Section 4.1: one L3-resident table per thread).
+  size_t l3_bytes_per_thread = 3 << 20;
+
+  // Total last-level cache in bytes (used by shared-table baselines).
+  size_t l3_bytes_total = 30 << 20;
+
+  // Number of hardware threads available.
+  int hardware_threads = 1;
+};
+
+// Queries sysconf/sysfs for cache sizes and core count. Falls back to the
+// paper's testbed values (30 MB L3, 3 MB per core) when detection fails.
+MachineInfo DetectMachine();
+
+}  // namespace cea
+
+#endif  // CEA_COMMON_MACHINE_H_

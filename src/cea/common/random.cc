@@ -1,0 +1,60 @@
+#include "cea/common/random.h"
+
+namespace cea {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  // Seed the four words from splitmix64 as recommended by the xoshiro
+  // authors; guarantees a non-zero state.
+  for (auto& word : s_) {
+    word = SplitMix64(seed);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire's multiply-shift rejection method: unbiased and avoids the
+  // division of the classic modulo approach.
+  if (bound == 0) return 0;
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  // 53 top bits into the mantissa.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace cea

@@ -1,0 +1,37 @@
+// Minimal status type for user-facing argument validation.
+//
+// Internal invariants use CEA_CHECK (cea/common/check.h); Status is reserved
+// for errors a caller can plausibly trigger with bad arguments, e.g. an
+// aggregation spec that references a column the input table does not have.
+
+#ifndef CEA_COMMON_STATUS_H_
+#define CEA_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace cea {
+
+// Result of a fallible user-facing operation. Default-constructed Status is
+// OK; an error carries a human-readable message.
+class Status {
+ public:
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(std::move(message));
+  }
+
+  bool ok() const { return message_.empty(); }
+  const std::string& message() const { return message_; }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+
+  std::string message_;
+};
+
+}  // namespace cea
+
+#endif  // CEA_COMMON_STATUS_H_

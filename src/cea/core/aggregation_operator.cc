@@ -1,0 +1,442 @@
+#include "cea/core/aggregation_operator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "cea/common/bits.h"
+#include "cea/common/check.h"
+
+namespace cea {
+
+// One recursive pass: all runs of one bucket at one level, cut into
+// morsels that the participating worker tasks claim from the shared
+// cursor. The last worker to finish runs the continuation (CompletePass).
+struct AggregationOperator::Pass {
+  int level = 0;
+  std::vector<Morsel> morsels;
+  size_t total_rows = 0;
+  Bucket source;  // keeps run memory alive for the duration of the pass
+
+  std::atomic<size_t> cursor{0};
+  std::atomic<int> active_workers{0};
+
+  std::mutex contexts_mutex;
+  std::vector<std::unique_ptr<PassContext>> contexts;
+};
+
+AggregationOperator::AggregationOperator(std::vector<AggregateSpec> specs,
+                                         AggregationOptions options)
+    : layout_(specs), options_(options) {
+  if (options_.num_threads <= 0) {
+    options_.num_threads = options_.machine.hardware_threads;
+  }
+  if (options_.table_bytes == 0) {
+    options_.table_bytes = options_.machine.l3_bytes_per_thread;
+  }
+  switch (options_.policy) {
+    case AggregationOptions::PolicyKind::kAdaptive:
+      policy_ = MakeAdaptivePolicy(options_.alpha0, options_.c);
+      break;
+    case AggregationOptions::PolicyKind::kHashingOnly:
+      policy_ = MakeHashingOnlyPolicy();
+      break;
+    case AggregationOptions::PolicyKind::kPartitionAlways:
+      policy_ = MakePartitionAlwaysPolicy(options_.partition_passes);
+      break;
+  }
+  scheduler_ = std::make_unique<TaskScheduler>(options_.num_threads);
+  EnsureResources(/*key_words=*/1);
+  worker_stats_.resize(options_.num_threads);
+  worker_finals_.resize(options_.num_threads);
+}
+
+void AggregationOperator::EnsureResources(int key_words) {
+  if (key_words == key_words_) return;
+  CEA_CHECK_MSG(key_words >= 1 && key_words <= kMaxKeyWords,
+                "unsupported number of grouping columns");
+  resources_.clear();
+  resources_.reserve(options_.num_threads);
+  for (int t = 0; t < options_.num_threads; ++t) {
+    resources_.push_back(std::make_unique<WorkerResources>(
+        key_words, layout_, options_.table_bytes, options_.morsel_rows,
+        options_.table_max_fill));
+  }
+  key_words_ = key_words;
+}
+
+AggregationOperator::~AggregationOperator() = default;
+
+Status AggregationOperator::ValidateSpecs(const InputTable& input) const {
+  for (size_t s = 0; s < layout_.specs.size(); ++s) {
+    const AggregateSpec& spec = layout_.specs[s];
+    if (NeedsInput(spec.fn)) {
+      if (spec.input_column < 0 ||
+          static_cast<size_t>(spec.input_column) >= input.values.size()) {
+        return Status::InvalidArgument(
+            std::string(AggFnName(spec.fn)) +
+            " references input column out of range");
+      }
+      if (input.values[spec.input_column] == nullptr) {
+        return Status::InvalidArgument("null input column");
+      }
+    }
+  }
+  if (input.num_rows != 0 && input.keys == nullptr) {
+    return Status::InvalidArgument("null key column");
+  }
+  for (const uint64_t* extra : input.extra_keys) {
+    if (input.num_rows != 0 && extra == nullptr) {
+      return Status::InvalidArgument("null extra key column");
+    }
+  }
+  if (input.key_columns() > kMaxKeyWords) {
+    return Status::InvalidArgument("too many grouping columns");
+  }
+  return Status::Ok();
+}
+
+void AggregationOperator::ResetExecutionState() {
+  for (auto& f : worker_finals_) f.clear();
+  for (auto& s : worker_stats_) s = ExecStats{};
+  shortcut_finals_.clear();
+  shortcut_stats_ = ExecStats{};
+  num_passes_.store(0, std::memory_order_relaxed);
+}
+
+void AggregationOperator::CollectResult(ResultTable* result,
+                                        ExecStats* stats) {
+  AssembleResult(result);
+  if (stats != nullptr) {
+    *stats = ExecStats{};
+    for (const ExecStats& s : worker_stats_) stats->Merge(s);
+    stats->Merge(shortcut_stats_);
+    stats->passes = num_passes_.load(std::memory_order_relaxed);
+  }
+}
+
+Status AggregationOperator::Execute(const InputTable& input,
+                                    ResultTable* result, ExecStats* stats) {
+  if (streaming_) {
+    return Status::InvalidArgument(
+        "Execute called while a stream is open; call FinishStream first");
+  }
+  Status v = ValidateSpecs(input);
+  if (!v.ok()) return v;
+  EnsureResources(input.key_columns());
+  ResetExecutionState();
+
+  if (input.num_rows != 0) {
+    ScheduleRootPass(input);
+    scheduler_->Wait();
+  }
+
+  CollectResult(result, stats);
+  return Status::Ok();
+}
+
+Status AggregationOperator::BeginStream(int key_columns) {
+  if (streaming_) {
+    return Status::InvalidArgument("stream already open");
+  }
+  if (key_columns < 1 || key_columns > kMaxKeyWords) {
+    return Status::InvalidArgument("unsupported number of grouping columns");
+  }
+  EnsureResources(key_columns);
+  ResetExecutionState();
+  num_passes_.fetch_add(1, std::memory_order_relaxed);  // the level-0 pass
+  stream_ctx_ = std::make_unique<PassContext>(
+      layout_, *policy_, resources_[0].get(), /*level=*/0, &worker_stats_[0]);
+  stream_rows_ = 0;
+  streaming_ = true;
+  return Status::Ok();
+}
+
+Status AggregationOperator::ConsumeBatch(const InputTable& batch) {
+  if (!streaming_) {
+    return Status::InvalidArgument("no open stream; call BeginStream first");
+  }
+  if (batch.key_columns() != key_words_) {
+    return Status::InvalidArgument("batch key width differs from stream");
+  }
+  Status v = ValidateSpecs(batch);
+  if (!v.ok()) return v;
+
+  auto start = std::chrono::steady_clock::now();
+  const size_t step = resources_[0]->max_morsel_rows();
+  for (size_t off = 0; off < batch.num_rows; off += step) {
+    Morsel m;
+    m.n = std::min(step, batch.num_rows - off);
+    m.key_cols.reserve(key_words_);
+    m.key_cols.push_back(batch.keys + off);
+    for (const uint64_t* extra : batch.extra_keys) {
+      m.key_cols.push_back(extra + off);
+    }
+    m.raw = true;
+    m.cols.resize(layout_.specs.size());
+    for (size_t s = 0; s < layout_.specs.size(); ++s) {
+      const AggregateSpec& spec = layout_.specs[s];
+      m.cols[s] = NeedsInput(spec.fn) ? batch.values[spec.input_column] + off
+                                      : nullptr;
+    }
+    stream_ctx_->ProcessMorsel(m);
+  }
+  stream_rows_ += batch.num_rows;
+  worker_stats_[0].seconds_at_level[0] +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return Status::Ok();
+}
+
+Status AggregationOperator::FinishStream(ResultTable* result,
+                                         ExecStats* stats) {
+  if (!streaming_) {
+    return Status::InvalidArgument("no open stream; call BeginStream first");
+  }
+  streaming_ = false;
+
+  if (stream_rows_ != 0) {
+    Run final_run(key_words_, layout_);
+    if (stream_ctx_->Finalize(stream_rows_, &final_run)) {
+      worker_finals_[0].push_back(std::move(final_run));
+    } else {
+      // Second code fragment: recurse into the buckets the stream
+      // produced.
+      for (uint32_t p = 0; p < kFanOut; ++p) {
+        Run& r = stream_ctx_->runs()[p];
+        if (!r.empty()) {
+          Bucket child;
+          child.push_back(std::move(r));
+          ScheduleBucket(std::move(child), /*level=*/1);
+        }
+      }
+      scheduler_->Wait();
+    }
+  }
+  stream_ctx_.reset();
+
+  CollectResult(result, stats);
+  return Status::Ok();
+}
+
+void AggregationOperator::ScheduleRootPass(const InputTable& input) {
+  // Cut the caller's contiguous columns into raw morsels.
+  std::vector<Morsel> morsels;
+  const size_t step = options_.morsel_rows;
+  morsels.reserve(CeilDiv(input.num_rows, step));
+  for (size_t off = 0; off < input.num_rows; off += step) {
+    Morsel m;
+    m.n = std::min(step, input.num_rows - off);
+    m.key_cols.reserve(input.key_columns());
+    m.key_cols.push_back(input.keys + off);
+    for (const uint64_t* extra : input.extra_keys) {
+      m.key_cols.push_back(extra + off);
+    }
+    m.raw = true;
+    m.cols.resize(layout_.specs.size());
+    for (size_t s = 0; s < layout_.specs.size(); ++s) {
+      const AggregateSpec& spec = layout_.specs[s];
+      m.cols[s] = NeedsInput(spec.fn)
+                      ? input.values[spec.input_column] + off
+                      : nullptr;
+    }
+    morsels.push_back(std::move(m));
+  }
+
+  if (policy_->FinalGrowableLevel() == 0) {
+    // PartitionAlways(1): degenerate single growable hashing pass.
+    ScheduleExact(std::move(morsels), Bucket{}, 0);
+    return;
+  }
+
+  auto pass = std::make_shared<Pass>();
+  pass->level = 0;
+  pass->total_rows = input.num_rows;
+  pass->morsels = std::move(morsels);
+  SchedulePass(std::move(pass));
+}
+
+void AggregationOperator::SchedulePass(std::shared_ptr<Pass> pass) {
+  num_passes_.fetch_add(1, std::memory_order_relaxed);
+  int tasks = static_cast<int>(
+      std::min<size_t>(pass->morsels.size(), scheduler_->num_threads()));
+  // Splitting a small bucket across workers costs more than it gains: a
+  // single worker can finish it with one never-flushed table (the merged
+  // final pass), while several workers each produce partial runs that
+  // force another recursion level. Reserve intra-bucket parallelism for
+  // buckets that are actually large; inter-bucket task parallelism covers
+  // the rest (Section 3.2).
+  if (pass->total_rows < options_.morsel_rows) tasks = 1;
+  CEA_CHECK(tasks >= 1);
+  pass->active_workers.store(tasks, std::memory_order_relaxed);
+  for (int t = 0; t < tasks; ++t) {
+    scheduler_->Submit([this, pass](int worker_id) {
+      RunPassWorker(pass, worker_id);
+    });
+  }
+}
+
+void AggregationOperator::RunPassWorker(const std::shared_ptr<Pass>& pass,
+                                        int worker_id) {
+  auto start = std::chrono::steady_clock::now();
+  std::unique_ptr<PassContext> ctx;
+  const size_t num_morsels = pass->morsels.size();
+  for (size_t i = pass->cursor.fetch_add(1, std::memory_order_relaxed);
+       i < num_morsels;
+       i = pass->cursor.fetch_add(1, std::memory_order_relaxed)) {
+    if (!ctx) {
+      ctx = std::make_unique<PassContext>(layout_, *policy_,
+                                          resources_[worker_id].get(),
+                                          pass->level,
+                                          &worker_stats_[worker_id]);
+    }
+    ctx->ProcessMorsel(pass->morsels[i]);
+  }
+  if (ctx) {
+    Run final_run(key_words_, layout_);
+    if (ctx->Finalize(pass->total_rows, &final_run)) {
+      worker_finals_[worker_id].push_back(std::move(final_run));
+      ctx.reset();  // nothing left to collect
+    } else {
+      std::lock_guard<std::mutex> lock(pass->contexts_mutex);
+      pass->contexts.push_back(std::move(ctx));
+    }
+  }
+  worker_stats_[worker_id].seconds_at_level[pass->level] +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (pass->active_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    CompletePass(pass);
+  }
+}
+
+void AggregationOperator::CompletePass(const std::shared_ptr<Pass>& pass) {
+  // Gather the per-worker runs of each partition into child buckets and
+  // recurse. Runs management is the only synchronized step (Section 3.2)
+  // and happens once per pass.
+  for (uint32_t p = 0; p < kFanOut; ++p) {
+    Bucket child;
+    for (const std::unique_ptr<PassContext>& ctx : pass->contexts) {
+      Run& r = ctx->runs()[p];
+      if (!r.empty()) child.push_back(std::move(r));
+    }
+    if (!child.empty()) {
+      ScheduleBucket(std::move(child), pass->level + 1);
+    }
+  }
+  pass->contexts.clear();
+  pass->source.clear();  // release the parent level's run memory
+}
+
+void AggregationOperator::ScheduleBucket(Bucket bucket, int level) {
+  if (bucket.size() == 1 && bucket[0].distinct) {
+    // A single fully-aggregated run with unique keys is final output; the
+    // recursion stops (Section 3.1).
+    std::lock_guard<std::mutex> lock(shortcut_mutex_);
+    shortcut_stats_.distinct_shortcut_runs += 1;
+    shortcut_finals_.push_back(std::move(bucket[0]));
+    return;
+  }
+  if (level >= kMaxRadixLevel || level == policy_->FinalGrowableLevel()) {
+    // Hash bits exhausted (adversarial input) or the policy finishes this
+    // level with an unbounded table: exact-key aggregation.
+    std::vector<Morsel> morsels = MorselsForBucket(bucket, key_words_, layout_);
+    ScheduleExact(std::move(morsels), std::move(bucket), level);
+    return;
+  }
+  auto pass = std::make_shared<Pass>();
+  pass->level = level;
+  pass->total_rows = BucketRows(bucket);
+  pass->source = std::move(bucket);
+  pass->morsels = MorselsForBucket(pass->source, key_words_, layout_);
+  SchedulePass(std::move(pass));
+}
+
+void AggregationOperator::ScheduleExact(std::vector<Morsel> morsels,
+                                        Bucket source, int level) {
+  size_t expected = options_.k_hint;
+  for (int l = 0; l < level && expected != 0; ++l) expected /= kFanOut;
+  auto morsels_ptr =
+      std::make_shared<std::vector<Morsel>>(std::move(morsels));
+  auto source_ptr = std::make_shared<Bucket>(std::move(source));
+  scheduler_->Submit([this, morsels_ptr, source_ptr, level,
+                      expected](int worker_id) {
+    auto start = std::chrono::steady_clock::now();
+    Run final_run(key_words_, layout_);
+    AggregateExact(*morsels_ptr, key_words_, layout_, expected, &final_run);
+    ExecStats& st = worker_stats_[worker_id];
+    if (level >= kMaxRadixLevel) st.fallback_buckets += 1;
+    st.final_hash_passes += 1;
+    size_t rows = 0;
+    for (const Morsel& m : *morsels_ptr) rows += m.n;
+    int l = std::min(level, kMaxRadixLevel);
+    st.rows_hashed += rows;
+    st.rows_hashed_at_level[l] += rows;
+    st.seconds_at_level[l] +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    st.max_level = std::max(st.max_level, l);
+    worker_finals_[worker_id].push_back(std::move(final_run));
+  });
+}
+
+void AggregationOperator::AssembleResult(ResultTable* result) {
+  result->keys.clear();
+  result->extra_keys.clear();
+  result->aggregates.clear();
+
+  std::vector<const Run*> finals;
+  size_t total = 0;
+  for (const auto& per_worker : worker_finals_) {
+    for (const Run& r : per_worker) {
+      finals.push_back(&r);
+      total += r.size();
+    }
+  }
+  for (const Run& r : shortcut_finals_) {
+    finals.push_back(&r);
+    total += r.size();
+  }
+
+  result->keys.resize(total);
+  result->extra_keys.assign(key_words_ - 1, std::vector<uint64_t>(total));
+  result->aggregates.resize(layout_.specs.size());
+  for (size_t s = 0; s < layout_.specs.size(); ++s) {
+    ResultColumn& col = result->aggregates[s];
+    col.fn = layout_.specs[s].fn;
+    if (col.fn == AggFn::kAvg) {
+      col.f64.resize(total);
+    } else {
+      col.u64.resize(total);
+    }
+  }
+
+  size_t offset = 0;
+  for (const Run* r : finals) {
+    r->CheckConsistent();
+    r->key_cols[0].CopyTo(result->keys.data() + offset);
+    for (int w = 1; w < key_words_; ++w) {
+      r->key_cols[w].CopyTo(result->extra_keys[w - 1].data() + offset);
+    }
+    for (size_t s = 0; s < layout_.specs.size(); ++s) {
+      const int off = layout_.word_offset[s];
+      ResultColumn& col = result->aggregates[s];
+      if (col.fn == AggFn::kAvg) {
+        std::vector<uint64_t> sums = r->states[off].ToVector();
+        std::vector<uint64_t> counts = r->states[off + 1].ToVector();
+        for (size_t i = 0; i < sums.size(); ++i) {
+          col.f64[offset + i] = counts[i] == 0
+                                    ? 0.0
+                                    : static_cast<double>(sums[i]) /
+                                          static_cast<double>(counts[i]);
+        }
+      } else {
+        r->states[off].CopyTo(col.u64.data() + offset);
+      }
+    }
+    offset += r->size();
+  }
+  CEA_CHECK(offset == total);
+}
+
+}  // namespace cea

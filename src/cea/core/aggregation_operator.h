@@ -1,0 +1,147 @@
+// AggregationOperator: the public GROUP-BY/aggregation operator.
+//
+// This is the paper's contribution assembled: a recursive MSD radix sort
+// on hash values (Algorithm 2) whose per-run routine — HASHING with early
+// aggregation or tuned PARTITIONING — is chosen at runtime by a Policy,
+// by default the ADAPTIVE strategy of Section 5. The operator is
+// cache-efficient for any output cardinality K without knowing K in
+// advance, parallelizes over both input morsels and recursive buckets,
+// and emits results as soon as buckets complete.
+//
+// Usage:
+//   AggregationOperator op({{AggFn::kSum, 0}, {AggFn::kCount, -1}});
+//   ResultTable result;
+//   Status s = op.Execute(InputTable::FromColumns(keys, {&amounts}), &result);
+//
+// Execute may be called repeatedly; thread pool and per-thread hash tables
+// are reused across calls.
+
+#ifndef CEA_CORE_AGGREGATION_OPERATOR_H_
+#define CEA_CORE_AGGREGATION_OPERATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cea/columnar/aggregate_function.h"
+#include "cea/columnar/column.h"
+#include "cea/common/machine.h"
+#include "cea/common/status.h"
+#include "cea/core/policy.h"
+#include "cea/core/routines.h"
+#include "cea/exec/task_scheduler.h"
+
+namespace cea {
+
+struct AggregationOptions {
+  enum class PolicyKind { kAdaptive, kHashingOnly, kPartitionAlways };
+
+  // Worker threads; 0 = all hardware threads.
+  int num_threads = 0;
+
+  // Per-thread hash table budget in bytes; 0 = detected L3 share
+  // (Section 4.1: the table is fixed to the thread's share of L3).
+  size_t table_bytes = 0;
+
+  // Fill rate at which the HASHING table is considered full (Section 4.1:
+  // 25% keeps collisions near zero; the ablation bench sweeps this).
+  double table_max_fill = 0.25;
+
+  PolicyKind policy = PolicyKind::kAdaptive;
+  // Adaptive constants (Appendix A): switch to partitioning when the
+  // reduction factor of a full table is below alpha0; switch back after
+  // c * table-capacity partitioned rows.
+  double alpha0 = 11.0;
+  uint64_t c = 10;
+  // Total passes for PolicyKind::kPartitionAlways.
+  int partition_passes = 2;
+
+  // Rows per level-0 morsel (also the work-stealing granularity).
+  size_t morsel_rows = 1 << 16;
+
+  // Optional output-cardinality hint. Only pre-sizes the growable tables
+  // of fallback/final passes (the competitors of Section 6.4 *require*
+  // this; ADAPTIVE never does).
+  size_t k_hint = 0;
+
+  MachineInfo machine = DetectMachine();
+};
+
+class AggregationOperator {
+ public:
+  explicit AggregationOperator(std::vector<AggregateSpec> specs,
+                               AggregationOptions options = {});
+  ~AggregationOperator();
+
+  AggregationOperator(const AggregationOperator&) = delete;
+  AggregationOperator& operator=(const AggregationOperator&) = delete;
+
+  // Aggregates `input` into `result` (group order unspecified). If `stats`
+  // is non-null it receives merged execution telemetry.
+  Status Execute(const InputTable& input, ResultTable* result,
+                 ExecStats* stats = nullptr);
+
+  // Streaming (push-based) interface for pipeline integration
+  // (Section 3.3, JIT processing model): the pipeline fragment that ends
+  // in the aggregation feeds batches into the operator; the recursive
+  // bucket processing is the second code fragment and runs in
+  // FinishStream. Batches are processed synchronously on the calling
+  // thread with the full HASHING/PARTITIONING policy machinery; batch
+  // buffers may be reused or freed after ConsumeBatch returns.
+  //
+  //   op.BeginStream(key_columns);
+  //   while (...) op.ConsumeBatch(batch);   // any batch sizes, >= 0 rows
+  //   op.FinishStream(&result, &stats);
+  Status BeginStream(int key_columns = 1);
+  Status ConsumeBatch(const InputTable& batch);
+  Status FinishStream(ResultTable* result, ExecStats* stats = nullptr);
+
+  const StateLayout& layout() const { return layout_; }
+  const AggregationOptions& options() const { return options_; }
+  int num_threads() const { return scheduler_->num_threads(); }
+  const Policy& policy() const { return *policy_; }
+
+ private:
+  struct Pass;
+
+  // (Re)builds the per-worker resources when the key width changes
+  // between Execute calls.
+  void EnsureResources(int key_words);
+  void ScheduleRootPass(const InputTable& input);
+  void ScheduleBucket(Bucket bucket, int level);
+  void SchedulePass(std::shared_ptr<Pass> pass);
+  void RunPassWorker(const std::shared_ptr<Pass>& pass, int worker_id);
+  void CompletePass(const std::shared_ptr<Pass>& pass);
+  void ScheduleExact(std::vector<Morsel> morsels, Bucket source, int level);
+  void AssembleResult(ResultTable* result);
+
+  StateLayout layout_;
+  AggregationOptions options_;
+  int key_words_ = 0;  // key width of the current/last Execute
+  std::unique_ptr<Policy> policy_;
+  std::unique_ptr<TaskScheduler> scheduler_;
+
+  std::vector<std::unique_ptr<WorkerResources>> resources_;  // per worker
+  std::vector<ExecStats> worker_stats_;                      // per worker
+  std::vector<std::vector<Run>> worker_finals_;              // per worker
+
+  std::mutex shortcut_mutex_;
+  std::vector<Run> shortcut_finals_;
+  ExecStats shortcut_stats_;
+  std::atomic<uint64_t> num_passes_{0};
+
+  // Streaming-mode state (single producer; see BeginStream).
+  std::unique_ptr<PassContext> stream_ctx_;
+  size_t stream_rows_ = 0;
+  bool streaming_ = false;
+
+  Status ValidateSpecs(const InputTable& input) const;
+  void ResetExecutionState();
+  void CollectResult(ResultTable* result, ExecStats* stats);
+};
+
+}  // namespace cea
+
+#endif  // CEA_CORE_AGGREGATION_OPERATOR_H_

@@ -1,0 +1,78 @@
+#include "cea/core/policy.h"
+
+#include "cea/common/check.h"
+
+namespace cea {
+namespace {
+
+class HashingOnlyPolicy final : public Policy {
+ public:
+  Mode InitialMode(int level) const override { return Mode::kHash; }
+  Mode OnTableFull(double alpha, int level) const override {
+    return Mode::kHash;
+  }
+  uint64_t PartitionQuota(uint32_t table_capacity) const override {
+    return ~uint64_t{0};
+  }
+  std::string Name() const override { return "HashingOnly"; }
+};
+
+class PartitionAlwaysPolicy final : public Policy {
+ public:
+  explicit PartitionAlwaysPolicy(int total_passes) : passes_(total_passes) {
+    CEA_CHECK_MSG(total_passes >= 1, "need at least one pass");
+  }
+
+  Mode InitialMode(int level) const override {
+    return level < passes_ - 1 ? Mode::kPartition : Mode::kHash;
+  }
+  Mode OnTableFull(double alpha, int level) const override {
+    // Only reachable in the final growable pass, which never flushes.
+    return Mode::kHash;
+  }
+  uint64_t PartitionQuota(uint32_t table_capacity) const override {
+    return ~uint64_t{0};
+  }
+  int FinalGrowableLevel() const override { return passes_ - 1; }
+  std::string Name() const override {
+    return "PartitionAlways(" + std::to_string(passes_) + ")";
+  }
+
+ private:
+  int passes_;
+};
+
+class AdaptivePolicy final : public Policy {
+ public:
+  AdaptivePolicy(double alpha0, uint64_t c) : alpha0_(alpha0), c_(c) {}
+
+  Mode InitialMode(int level) const override { return Mode::kHash; }
+  Mode OnTableFull(double alpha, int level) const override {
+    return alpha >= alpha0_ ? Mode::kHash : Mode::kPartition;
+  }
+  uint64_t PartitionQuota(uint32_t table_capacity) const override {
+    if (c_ == 0) return 0;
+    return c_ * static_cast<uint64_t>(table_capacity);
+  }
+  std::string Name() const override { return "Adaptive"; }
+
+ private:
+  double alpha0_;
+  uint64_t c_;
+};
+
+}  // namespace
+
+std::unique_ptr<Policy> MakeHashingOnlyPolicy() {
+  return std::make_unique<HashingOnlyPolicy>();
+}
+
+std::unique_ptr<Policy> MakePartitionAlwaysPolicy(int total_passes) {
+  return std::make_unique<PartitionAlwaysPolicy>(total_passes);
+}
+
+std::unique_ptr<Policy> MakeAdaptivePolicy(double alpha0, uint64_t c) {
+  return std::make_unique<AdaptivePolicy>(alpha0, c);
+}
+
+}  // namespace cea

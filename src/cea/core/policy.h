@@ -1,0 +1,75 @@
+// Routine-selection policies (Section 5).
+//
+// The framework processes every run with one of two routines — HASHING or
+// PARTITIONING — and may switch between them at any table-flush boundary
+// without losing completed work. Which routine runs next is decided by a
+// Policy:
+//
+//  * HashingOnly      — always hash (Figure 4a).
+//  * PartitionAlways  — partition for a fixed number of passes, then one
+//                       final hashing pass whose tables may exceptionally
+//                       grow beyond the cache (Figures 4b/4c). Needs the
+//                       recursion depth as external knowledge, exactly the
+//                       drawback the paper ascribes to it.
+//  * Adaptive         — start hashing; when a table fills, compute the
+//                       reduction factor alpha = n_in / n_out. If
+//                       alpha >= alpha0, locality is high and hashing
+//                       continues; otherwise switch to the ~4x faster
+//                       PARTITIONING for c * table-capacity rows, then
+//                       probe with HASHING again in case the distribution
+//                       changed (Section 5, constants from Appendix A:
+//                       alpha0 ~ 11, c = 10).
+//
+// Policies are immutable and shared across worker threads; the mutable
+// mode/budget state lives in each worker's PassContext, so threads decide
+// independently — they can hash where locality is high and partition where
+// it is low, with no coordination.
+
+#ifndef CEA_CORE_POLICY_H_
+#define CEA_CORE_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace cea {
+
+enum class Mode : uint8_t { kHash, kPartition };
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  // Routine to start with when a worker begins processing a bucket at
+  // `level`.
+  virtual Mode InitialMode(int level) const = 0;
+
+  // Routine to continue with after a hash table filled up with reduction
+  // factor `alpha`.
+  virtual Mode OnTableFull(double alpha, int level) const = 0;
+
+  // Number of rows to process with PARTITIONING before switching back to
+  // HASHING (UINT64_MAX: never switch back). `table_capacity` is the slot
+  // capacity of the worker's hash table ("cache" in the paper's
+  // n_in = c * cache formulation).
+  virtual uint64_t PartitionQuota(uint32_t table_capacity) const = 0;
+
+  // Level at which buckets are finished with a single growable hash table
+  // regardless of cache size (-1: none). Only PartitionAlways uses this,
+  // mirroring the paper's illustrative setup that "exceptionally lets hash
+  // tables grow larger than the cache".
+  virtual int FinalGrowableLevel() const { return -1; }
+
+  virtual std::string Name() const = 0;
+};
+
+// Factory functions. Defaults are the machine constants determined in
+// Appendix A (alpha0 ~= 11, c = 10).
+std::unique_ptr<Policy> MakeHashingOnlyPolicy();
+std::unique_ptr<Policy> MakePartitionAlwaysPolicy(int total_passes);
+std::unique_ptr<Policy> MakeAdaptivePolicy(double alpha0 = 11.0,
+                                           uint64_t c = 10);
+
+}  // namespace cea
+
+#endif  // CEA_CORE_POLICY_H_

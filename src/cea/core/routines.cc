@@ -1,0 +1,465 @@
+#include "cea/core/routines.h"
+
+#include <algorithm>
+
+#include "cea/common/check.h"
+#include "cea/hash/key_hash.h"
+#include "cea/table/growable_hash_table.h"
+
+namespace cea {
+
+void ExecStats::Merge(const ExecStats& other) {
+  rows_hashed += other.rows_hashed;
+  rows_partitioned += other.rows_partitioned;
+  tables_flushed += other.tables_flushed;
+  switches_to_partition += other.switches_to_partition;
+  switches_to_hash += other.switches_to_hash;
+  final_hash_passes += other.final_hash_passes;
+  distinct_shortcut_runs += other.distinct_shortcut_runs;
+  fallback_buckets += other.fallback_buckets;
+  passes += other.passes;
+  max_level = std::max(max_level, other.max_level);
+  sum_alpha += other.sum_alpha;
+  num_alpha += other.num_alpha;
+  for (size_t l = 0; l < rows_hashed_at_level.size(); ++l) {
+    rows_hashed_at_level[l] += other.rows_hashed_at_level[l];
+    rows_partitioned_at_level[l] += other.rows_partitioned_at_level[l];
+    seconds_at_level[l] += other.seconds_at_level[l];
+  }
+}
+
+WorkerResources::WorkerResources(int key_words, const StateLayout& layout,
+                                 size_t table_bytes, size_t max_morsel_rows,
+                                 double table_max_fill)
+    : key_words_(key_words),
+      table_(table_bytes, key_words, layout, table_max_fill),
+      slots_(std::max(max_morsel_rows, ChunkedArray::kMaxChunkElems)),
+      dests_(slots_.size()) {
+  key_writers_.reserve(key_words);
+  for (int w = 0; w < key_words; ++w) {
+    key_writers_.push_back(std::make_unique<SwcWriter>());
+  }
+  state_writers_.reserve(layout.total_words);
+  for (int w = 0; w < layout.total_words; ++w) {
+    state_writers_.push_back(std::make_unique<SwcWriter>());
+  }
+}
+
+PassContext::PassContext(const StateLayout& layout, const Policy& policy,
+                         WorkerResources* resources, int level,
+                         ExecStats* stats)
+    : layout_(layout),
+      policy_(policy),
+      res_(*resources),
+      level_(level),
+      stats_(stats),
+      mode_(policy.InitialMode(level)) {
+  CEA_CHECK(level >= 0 && level < kMaxRadixLevel);
+  res_.table().Clear();
+  const int kw = res_.key_words();
+  for (uint32_t p = 0; p < kFanOut; ++p) {
+    runs_[p] = Run(kw, layout);
+    for (int w = 0; w < kw; ++w) {
+      res_.key_writer(w).SetDest(p, &runs_[p].key_cols[w]);
+    }
+    for (int w = 0; w < layout.total_words; ++w) {
+      res_.state_writer(w).SetDest(p, &runs_[p].states[w]);
+    }
+  }
+  if (mode_ == Mode::kPartition) {
+    partition_budget_ = policy_.PartitionQuota(res_.table().capacity());
+  }
+  stats_->max_level = std::max(stats_->max_level, level);
+}
+
+bool PassContext::InsertKeys(const Morsel& m, size_t from, size_t n,
+                             size_t* consumed) {
+  BlockedOpenHashTable& table = res_.table();
+  uint32_t* slots = res_.slots();
+  const int kw = res_.key_words();
+
+  if (kw == 1) {
+    // Hot path: single 64-bit keys, out-of-order blocks of 16
+    // (Section 4.2) — hash a block first, then insert, so the hash
+    // computations overlap the table-probe loads.
+    const uint64_t* keys = m.key_cols[0] + from;
+    size_t i = 0;
+    while (i + 16 <= n) {
+      uint64_t hashes[16];
+      for (int j = 0; j < 16; ++j) hashes[j] = MurmurHash64(keys[i + j]);
+      for (int j = 0; j < 16; ++j) {
+        uint32_t s = table.FindOrInsert(keys[i + j], hashes[j], level_);
+        if (s == BlockedOpenHashTable::kFull) {
+          *consumed = i + static_cast<size_t>(j);
+          return true;
+        }
+        slots[from + i + j] = s;
+      }
+      i += 16;
+    }
+    for (; i < n; ++i) {
+      uint32_t s = table.FindOrInsert(keys[i], MurmurHash64(keys[i]), level_);
+      if (s == BlockedOpenHashTable::kFull) {
+        *consumed = i;
+        return true;
+      }
+      slots[from + i] = s;
+    }
+    *consumed = n;
+    return false;
+  }
+
+  // Composite keys: gather the key words of each row, then probe.
+  uint64_t key[kMaxKeyWords];
+  for (size_t i = 0; i < n; ++i) {
+    for (int w = 0; w < kw; ++w) key[w] = m.key_cols[w][from + i];
+    uint64_t hash = HashKey(key, kw);
+    uint32_t s = table.FindOrInsert(key, hash, level_);
+    if (s == BlockedOpenHashTable::kFull) {
+      *consumed = i;
+      return true;
+    }
+    slots[from + i] = s;
+  }
+  *consumed = n;
+  return false;
+}
+
+void PassContext::ApplyValuesHash(const Morsel& m, size_t from, size_t len) {
+  if (len == 0) return;
+  BlockedOpenHashTable& table = res_.table();
+  const uint32_t* slots = res_.slots() + from;
+  for (size_t s = 0; s < layout_.specs.size(); ++s) {
+    const AggFn fn = layout_.specs[s].fn;
+    const int off = layout_.word_offset[s];
+    uint64_t* w0 = table.state_array(off);
+    if (m.raw) {
+      const uint64_t* v =
+          m.cols.empty() ? nullptr : m.cols[s] ? m.cols[s] + from : nullptr;
+      switch (fn) {
+        case AggFn::kCount:
+          for (size_t i = 0; i < len; ++i) w0[slots[i]] += 1;
+          break;
+        case AggFn::kSum:
+          for (size_t i = 0; i < len; ++i) w0[slots[i]] += v[i];
+          break;
+        case AggFn::kMin:
+          for (size_t i = 0; i < len; ++i) {
+            uint64_t x = v[i];
+            if (x < w0[slots[i]]) w0[slots[i]] = x;
+          }
+          break;
+        case AggFn::kMax:
+          for (size_t i = 0; i < len; ++i) {
+            uint64_t x = v[i];
+            if (x > w0[slots[i]]) w0[slots[i]] = x;
+          }
+          break;
+        case AggFn::kAvg: {
+          uint64_t* w1 = table.state_array(off + 1);
+          for (size_t i = 0; i < len; ++i) {
+            w0[slots[i]] += v[i];
+            w1[slots[i]] += 1;
+          }
+          break;
+        }
+      }
+    } else {
+      const uint64_t* src0 = m.cols[off] + from;
+      switch (fn) {
+        case AggFn::kCount:
+        case AggFn::kSum:
+          for (size_t i = 0; i < len; ++i) w0[slots[i]] += src0[i];
+          break;
+        case AggFn::kMin:
+          for (size_t i = 0; i < len; ++i) {
+            uint64_t x = src0[i];
+            if (x < w0[slots[i]]) w0[slots[i]] = x;
+          }
+          break;
+        case AggFn::kMax:
+          for (size_t i = 0; i < len; ++i) {
+            uint64_t x = src0[i];
+            if (x > w0[slots[i]]) w0[slots[i]] = x;
+          }
+          break;
+        case AggFn::kAvg: {
+          uint64_t* w1 = table.state_array(off + 1);
+          const uint64_t* src1 = m.cols[off + 1] + from;
+          for (size_t i = 0; i < len; ++i) {
+            w0[slots[i]] += src0[i];
+            w1[slots[i]] += src1[i];
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+void PassContext::PartitionRange(const Morsel& m, size_t from, size_t to) {
+  if (from >= to) return;
+  const size_t len = to - from;
+  const int kw = res_.key_words();
+  uint8_t* dests = res_.dests() + from;
+
+  // Grouping column(s): compute digits (the per-run mapping vector of
+  // Section 3.3) and scatter key word 0 through the SWC buffers.
+  {
+    SwcWriter& kw0 = res_.key_writer(0);
+    if (kw == 1) {
+      const uint64_t* keys = m.key_cols[0] + from;
+      for (size_t i = 0; i < len; ++i) {
+        uint64_t h = MurmurHash64(keys[i]);
+        uint32_t d = RadixDigit(h, level_);
+        dests[i] = static_cast<uint8_t>(d);
+        kw0.Append(d, keys[i]);
+      }
+    } else {
+      uint64_t key[kMaxKeyWords];
+      for (size_t i = 0; i < len; ++i) {
+        for (int w = 0; w < kw; ++w) key[w] = m.key_cols[w][from + i];
+        uint64_t h = HashKey(key, kw);
+        uint32_t d = RadixDigit(h, level_);
+        dests[i] = static_cast<uint8_t>(d);
+        kw0.Append(d, key[0]);
+      }
+    }
+  }
+  // Remaining key words replay the mapping vector like aggregate columns.
+  for (int w = 1; w < kw; ++w) {
+    SwcWriter& kwriter = res_.key_writer(w);
+    const uint64_t* src = m.key_cols[w] + from;
+    for (size_t i = 0; i < len; ++i) kwriter.Append(dests[i], src[i]);
+  }
+
+  // Aggregate columns: replay the mapping vector in tight per-column
+  // loops. Appends per partition happen in input order, so values land at
+  // the same positions as their keys.
+  for (size_t s = 0; s < layout_.specs.size(); ++s) {
+    const AggFn fn = layout_.specs[s].fn;
+    const int off = layout_.word_offset[s];
+    SwcWriter& sw0 = res_.state_writer(off);
+    if (m.raw) {
+      const uint64_t* v = m.cols[s] != nullptr ? m.cols[s] + from : nullptr;
+      switch (fn) {
+        case AggFn::kCount:
+          for (size_t i = 0; i < len; ++i) sw0.Append(dests[i], 1);
+          break;
+        case AggFn::kSum:
+        case AggFn::kMin:
+        case AggFn::kMax:
+          for (size_t i = 0; i < len; ++i) sw0.Append(dests[i], v[i]);
+          break;
+        case AggFn::kAvg: {
+          SwcWriter& sw1 = res_.state_writer(off + 1);
+          for (size_t i = 0; i < len; ++i) {
+            sw0.Append(dests[i], v[i]);
+            sw1.Append(dests[i], 1);
+          }
+          break;
+        }
+      }
+    } else {
+      for (int w = 0; w < StateWords(fn); ++w) {
+        SwcWriter& sw = res_.state_writer(off + w);
+        const uint64_t* src = m.cols[off + w] + from;
+        for (size_t i = 0; i < len; ++i) sw.Append(dests[i], src[i]);
+      }
+    }
+  }
+
+  partitioned_any_ = true;
+  rows_processed_ += len;
+  stats_->rows_partitioned += len;
+  stats_->rows_partitioned_at_level[level_] += len;
+  if (partition_budget_ <= len) {
+    // Quota exhausted: probe with HASHING again (Section 5) in case the
+    // distribution changed.
+    partition_budget_ = 0;
+    mode_ = Mode::kHash;
+    ++stats_->switches_to_hash;
+  } else {
+    partition_budget_ -= len;
+  }
+}
+
+void PassContext::SplitTable() {
+  BlockedOpenHashTable& table = res_.table();
+  for (uint32_t p = 0; p < kFanOut; ++p) {
+    size_t emitted =
+        table.EmitBlock(p, &runs_[p].key_cols, &runs_[p].states);
+    if (emitted != 0) ++split_touches_[p];
+  }
+  table.Clear();
+  table_rows_in_ = 0;
+}
+
+void PassContext::ProcessMorsel(const Morsel& m) {
+  CEA_CHECK_MSG(m.n <= res_.max_morsel_rows(),
+                "morsel exceeds the mapping buffers of WorkerResources");
+  size_t i = 0;
+  while (i < m.n) {
+    if (mode_ == Mode::kPartition) {
+      // Obey the quota at sub-morsel granularity so a switch back to
+      // hashing happens close to the configured c * capacity rows.
+      size_t quota_end = m.n;
+      if (partition_budget_ < m.n - i) {
+        quota_end = i + static_cast<size_t>(partition_budget_);
+        if (quota_end <= i) quota_end = i + 1;
+      }
+      PartitionRange(m, i, quota_end);
+      i = quota_end;
+      continue;
+    }
+    size_t consumed = 0;
+    bool full = InsertKeys(m, i, m.n - i, &consumed);
+    ApplyValuesHash(m, i, consumed);
+    i += consumed;
+    rows_processed_ += consumed;
+    table_rows_in_ += consumed;
+    stats_->rows_hashed += consumed;
+    stats_->rows_hashed_at_level[level_] += consumed;
+    if (full) {
+      // The table ran full: compute the reduction factor and let the
+      // policy pick the routine for the next stretch.
+      double alpha = res_.table().fill() == 0
+                         ? 1.0
+                         : static_cast<double>(table_rows_in_) /
+                               static_cast<double>(res_.table().fill());
+      stats_->sum_alpha += alpha;
+      ++stats_->num_alpha;
+      SplitTable();
+      ++flushes_;
+      ++stats_->tables_flushed;
+      Mode next = policy_.OnTableFull(alpha, level_);
+      if (next == Mode::kPartition) {
+        mode_ = Mode::kPartition;
+        partition_budget_ = policy_.PartitionQuota(res_.table().capacity());
+        if (partition_budget_ == 0) {
+          mode_ = Mode::kHash;  // degenerate c = 0: stay with hashing
+        } else {
+          ++stats_->switches_to_partition;
+        }
+      }
+    }
+  }
+}
+
+bool PassContext::Finalize(size_t pass_total_rows, Run* final_run) {
+  BlockedOpenHashTable& table = res_.table();
+  const bool sole_hasher = rows_processed_ == pass_total_rows &&
+                           flushes_ == 0 && !partitioned_any_;
+  if (sole_hasher && rows_processed_ > 0) {
+    // This worker hashed the entire bucket without ever flushing: the
+    // table holds the complete aggregate. This is the merged
+    // "last-partitioning-pass + aggregation" of Section 2.1.
+    for (uint32_t p = 0; p < kFanOut; ++p) {
+      table.EmitBlock(p, &final_run->key_cols, &final_run->states);
+    }
+    final_run->distinct = true;
+    table.Clear();
+    ++stats_->final_hash_passes;
+    return true;
+  }
+  if (!table.empty()) {
+    SplitTable();
+  }
+  for (int w = 0; w < res_.key_words(); ++w) {
+    res_.key_writer(w).Flush();
+  }
+  for (int w = 0; w < layout_.total_words; ++w) {
+    res_.state_writer(w).Flush();
+  }
+  // A run is distinct (fully aggregated, unique keys) iff it was produced
+  // by exactly one table split and received no partitioned rows.
+  for (uint32_t p = 0; p < kFanOut; ++p) {
+    runs_[p].distinct = !partitioned_any_ && split_touches_[p] == 1;
+  }
+  return false;
+}
+
+void AggregateExact(const std::vector<Morsel>& morsels, int key_words,
+                    const StateLayout& layout, size_t expected_groups,
+                    Run* final_run) {
+  GrowableHashTable table(key_words, layout, expected_groups);
+  uint64_t key[kMaxKeyWords];
+  for (const Morsel& m : morsels) {
+    for (size_t i = 0; i < m.n; ++i) {
+      for (int w = 0; w < key_words; ++w) key[w] = m.key_cols[w][i];
+      size_t slot = table.FindOrInsert(key);
+      for (size_t s = 0; s < layout.specs.size(); ++s) {
+        const AggFn fn = layout.specs[s].fn;
+        const int off = layout.word_offset[s];
+        // State words of one spec live in separate word arrays, so gather
+        // them into a local buffer before merging.
+        uint64_t state[2];
+        if (m.raw) {
+          uint64_t v = m.cols[s] != nullptr ? m.cols[s][i] : 0;
+          InitStateFromRaw(fn, v, state);
+        } else {
+          state[0] = m.cols[off][i];
+          if (StateWords(fn) == 2) state[1] = m.cols[off + 1][i];
+        }
+        uint64_t dst[2];
+        dst[0] = table.state_array(off)[slot];
+        if (StateWords(fn) == 2) dst[1] = table.state_array(off + 1)[slot];
+        MergeState(fn, state, dst);
+        table.state_array(off)[slot] = dst[0];
+        if (StateWords(fn) == 2) table.state_array(off + 1)[slot] = dst[1];
+      }
+    }
+  }
+  table.ForEachSlot([&](size_t slot) {
+    for (int w = 0; w < key_words; ++w) {
+      final_run->key_cols[w].Append(table.key_array(w)[slot]);
+    }
+    for (int w = 0; w < layout.total_words; ++w) {
+      final_run->states[w].Append(table.state_array(w)[slot]);
+    }
+  });
+  final_run->distinct = true;
+}
+
+std::vector<Morsel> MorselsForBucket(const Bucket& bucket, int key_words,
+                                     const StateLayout& layout) {
+  std::vector<Morsel> morsels;
+  using ChunkList = std::vector<std::pair<const uint64_t*, size_t>>;
+  for (const Run& run : bucket) {
+    // Collect the chunk decomposition of every column; the deterministic
+    // chunk growth schedule guarantees identical boundaries.
+    std::vector<ChunkList> key_chunks(key_words);
+    for (int w = 0; w < key_words; ++w) {
+      run.key_cols[w].ForEachChunk([&](const uint64_t* d, size_t n) {
+        key_chunks[w].emplace_back(d, n);
+      });
+      CEA_CHECK(key_chunks[w].size() == key_chunks[0].size());
+    }
+    std::vector<ChunkList> state_chunks(layout.total_words);
+    for (int w = 0; w < layout.total_words; ++w) {
+      run.states[w].ForEachChunk([&](const uint64_t* d, size_t n) {
+        state_chunks[w].emplace_back(d, n);
+      });
+      CEA_CHECK(state_chunks[w].size() == key_chunks[0].size());
+    }
+    for (size_t c = 0; c < key_chunks[0].size(); ++c) {
+      Morsel m;
+      m.n = key_chunks[0][c].second;
+      m.raw = false;
+      m.key_cols.resize(key_words);
+      for (int w = 0; w < key_words; ++w) {
+        CEA_CHECK(key_chunks[w][c].second == m.n);
+        m.key_cols[w] = key_chunks[w][c].first;
+      }
+      m.cols.resize(layout.total_words);
+      for (int w = 0; w < layout.total_words; ++w) {
+        CEA_CHECK(state_chunks[w][c].second == m.n);
+        m.cols[w] = state_chunks[w][c].first;
+      }
+      morsels.push_back(std::move(m));
+    }
+  }
+  return morsels;
+}
+
+}  // namespace cea

@@ -1,0 +1,3 @@
+#include "cea/core/run.h"
+
+// Header-only; anchors the translation unit.

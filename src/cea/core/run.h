@@ -1,0 +1,66 @@
+// Run and bucket representation (Section 3.1).
+//
+// Both routines produce partitions in the form of "runs": a run is a
+// column-wise batch of rows — one ChunkedArray per grouping key word plus
+// one per aggregate state word. A bucket is the set of runs belonging to
+// one radix partition; the recursion treats all runs of a partition as a
+// single bucket and processes them together at the next level.
+//
+// Every run stores aggregate *states*, never raw input values (see
+// cea/columnar/aggregate_function.h): a raw row is converted to the state
+// of a one-row group when it is first copied out of the caller's input.
+// Runs emitted by splitting a hash table additionally carry the `distinct`
+// flag — all their keys are unique and fully aggregated — which is what
+// terminates the recursion.
+
+#ifndef CEA_CORE_RUN_H_
+#define CEA_CORE_RUN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cea/columnar/aggregate_function.h"
+#include "cea/common/check.h"
+#include "cea/mem/chunked_array.h"
+
+namespace cea {
+
+struct Run {
+  std::vector<ChunkedArray> key_cols;  // one array per key word
+  std::vector<ChunkedArray> states;    // one array per aggregate state word
+  bool distinct = false;
+
+  Run() = default;
+  Run(int key_words, const StateLayout& layout)
+      : key_cols(key_words), states(layout.total_words) {}
+
+  Run(Run&&) = default;
+  Run& operator=(Run&&) = default;
+
+  size_t size() const { return key_cols.empty() ? 0 : key_cols[0].size(); }
+  bool empty() const { return size() == 0; }
+
+  // Verifies the column-length invariant (all columns track key word 0).
+  void CheckConsistent() const {
+    for (const ChunkedArray& k : key_cols) {
+      CEA_CHECK(k.size() == size());
+    }
+    for (const ChunkedArray& s : states) {
+      CEA_CHECK(s.size() == size());
+    }
+  }
+};
+
+// All runs destined for the same radix partition.
+using Bucket = std::vector<Run>;
+
+// Total number of rows across the runs of a bucket.
+inline size_t BucketRows(const Bucket& bucket) {
+  size_t rows = 0;
+  for (const Run& r : bucket) rows += r.size();
+  return rows;
+}
+
+}  // namespace cea
+
+#endif  // CEA_CORE_RUN_H_

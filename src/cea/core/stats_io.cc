@@ -1,0 +1,86 @@
+#include "cea/core/stats_io.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace cea {
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<size_t>(n, sizeof(buf) - 1));
+}
+
+}  // namespace
+
+std::string FormatExecStats(const ExecStats& stats) {
+  std::string out;
+  uint64_t total = stats.rows_hashed + stats.rows_partitioned;
+  double hash_pct =
+      total == 0 ? 0.0
+                 : 100.0 * static_cast<double>(stats.rows_hashed) /
+                       static_cast<double>(total);
+  Appendf(&out,
+          "rows: %" PRIu64 " hashed (%.1f%%), %" PRIu64 " partitioned\n",
+          stats.rows_hashed, hash_pct, stats.rows_partitioned);
+  Appendf(&out,
+          "passes: %" PRIu64 ", tables flushed: %" PRIu64
+          ", final hash passes: %" PRIu64 ", shortcut runs: %" PRIu64 "\n",
+          stats.passes, stats.tables_flushed, stats.final_hash_passes,
+          stats.distinct_shortcut_runs);
+  Appendf(&out,
+          "switches: %" PRIu64 " to partitioning, %" PRIu64
+          " back to hashing; mean alpha: %.2f (%" PRIu64 " samples)\n",
+          stats.switches_to_partition, stats.switches_to_hash,
+          stats.mean_alpha(), stats.num_alpha);
+  Appendf(&out, "levels (rows hashed / partitioned / cpu-seconds):\n");
+  for (int l = 0; l <= stats.max_level &&
+                  l < static_cast<int>(stats.rows_hashed_at_level.size());
+       ++l) {
+    Appendf(&out, "  level %d: %" PRIu64 " / %" PRIu64 " / %.4f\n", l,
+            stats.rows_hashed_at_level[l], stats.rows_partitioned_at_level[l],
+            stats.seconds_at_level[l]);
+  }
+  return out;
+}
+
+std::string ResultToCsv(const ResultTable& table, size_t max_rows) {
+  std::string out = "key";
+  for (size_t w = 0; w < table.extra_keys.size(); ++w) {
+    Appendf(&out, ",key%zu", w + 1);
+  }
+  for (const ResultColumn& col : table.aggregates) {
+    out += ",";
+    out += AggFnName(col.fn);
+  }
+  out += "\n";
+
+  size_t rows = table.num_groups();
+  if (max_rows != 0 && max_rows < rows) rows = max_rows;
+  for (size_t i = 0; i < rows; ++i) {
+    Appendf(&out, "%" PRIu64, table.keys[i]);
+    for (const auto& col : table.extra_keys) {
+      Appendf(&out, ",%" PRIu64, col[i]);
+    }
+    for (const ResultColumn& col : table.aggregates) {
+      if (col.fn == AggFn::kAvg) {
+        Appendf(&out, ",%.6g", col.f64[i]);
+      } else {
+        Appendf(&out, ",%" PRIu64, col.u64[i]);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace cea

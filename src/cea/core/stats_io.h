@@ -1,0 +1,24 @@
+// Human-readable formatting of execution telemetry and results.
+
+#ifndef CEA_CORE_STATS_IO_H_
+#define CEA_CORE_STATS_IO_H_
+
+#include <string>
+
+#include "cea/columnar/column.h"
+#include "cea/core/routines.h"
+
+namespace cea {
+
+// Multi-line summary of an ExecStats: routine mix, switches, passes,
+// per-level row/time breakdown. For logs and example output.
+std::string FormatExecStats(const ExecStats& stats);
+
+// Renders a ResultTable as CSV (header + up to `max_rows` rows; 0 = all).
+// Key columns come first (key, key1, key2, ...), then one column per
+// aggregate named after its function.
+std::string ResultToCsv(const ResultTable& table, size_t max_rows = 0);
+
+}  // namespace cea
+
+#endif  // CEA_CORE_STATS_IO_H_

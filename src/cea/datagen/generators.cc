@@ -1,0 +1,205 @@
+#include "cea/datagen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cea/common/check.h"
+#include "cea/common/random.h"
+
+namespace cea {
+namespace {
+
+std::vector<uint64_t> Uniform(const GenParams& p, Rng& rng) {
+  std::vector<uint64_t> keys(p.n);
+  for (uint64_t i = 0; i < p.n; ++i) {
+    keys[i] = 1 + rng.NextBounded(p.k);
+  }
+  return keys;
+}
+
+std::vector<uint64_t> Sequential(const GenParams& p) {
+  std::vector<uint64_t> keys(p.n);
+  for (uint64_t i = 0; i < p.n; ++i) {
+    keys[i] = 1 + (i % p.k);
+  }
+  return keys;
+}
+
+std::vector<uint64_t> HeavyHitter(const GenParams& p, Rng& rng) {
+  // `hh_fraction` of all records get key 1; the rest are uniform on [2, K].
+  std::vector<uint64_t> keys(p.n);
+  for (uint64_t i = 0; i < p.n; ++i) {
+    if (p.k == 1 || rng.NextDouble() < p.hh_fraction) {
+      keys[i] = 1;
+    } else {
+      keys[i] = 2 + rng.NextBounded(p.k - 1);
+    }
+  }
+  return keys;
+}
+
+std::vector<uint64_t> MovingCluster(const GenParams& p, Rng& rng) {
+  // Keys are chosen uniformly from a window of `cluster_window` values that
+  // slides from the bottom to the top of the key domain over the input.
+  std::vector<uint64_t> keys(p.n);
+  uint64_t w = std::min(p.cluster_window, p.k);
+  uint64_t span = p.k - w;  // distance the window start travels
+  for (uint64_t i = 0; i < p.n; ++i) {
+    uint64_t start = p.n <= 1 ? 0
+                              : static_cast<uint64_t>(
+                                    (static_cast<__uint128_t>(span) * i) /
+                                    (p.n - 1));
+    keys[i] = 1 + start + rng.NextBounded(w);
+  }
+  return keys;
+}
+
+std::vector<uint64_t> SelfSimilar(const GenParams& p, Rng& rng) {
+  // Gray et al.'s self-similar generator: with h = 0.2, 80% of the rows
+  // fall on the first 20% of the keys, recursively.
+  std::vector<uint64_t> keys(p.n);
+  double exponent = std::log(p.self_similar_h) / std::log(1.0 - p.self_similar_h);
+  for (uint64_t i = 0; i < p.n; ++i) {
+    double u = rng.NextDouble();
+    auto key = static_cast<uint64_t>(
+        static_cast<double>(p.k) * std::pow(u, exponent));
+    if (key >= p.k) key = p.k - 1;
+    keys[i] = 1 + key;
+  }
+  return keys;
+}
+
+std::vector<uint64_t> Zipf(const GenParams& p, Rng& rng) {
+  ZipfSampler sampler(p.k, p.zipf_s);
+  std::vector<uint64_t> keys(p.n);
+  for (uint64_t i = 0; i < p.n; ++i) {
+    keys[i] = sampler.Sample(rng);
+  }
+  return keys;
+}
+
+}  // namespace
+
+std::vector<uint64_t> GenerateKeys(const GenParams& params) {
+  CEA_CHECK_MSG(params.k >= 1, "need at least one group");
+  Rng rng(params.seed);
+  switch (params.dist) {
+    case Distribution::kUniform:
+      return Uniform(params, rng);
+    case Distribution::kSequential:
+      return Sequential(params);
+    case Distribution::kSorted: {
+      std::vector<uint64_t> keys = Uniform(params, rng);
+      std::sort(keys.begin(), keys.end());
+      return keys;
+    }
+    case Distribution::kHeavyHitter:
+      return HeavyHitter(params, rng);
+    case Distribution::kMovingCluster:
+      return MovingCluster(params, rng);
+    case Distribution::kSelfSimilar:
+      return SelfSimilar(params, rng);
+    case Distribution::kZipf:
+      return Zipf(params, rng);
+  }
+  CEA_CHECK(false);
+  return {};
+}
+
+std::vector<uint64_t> GenerateValues(uint64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> values(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    values[i] = rng.NextBounded(uint64_t{1} << 20);
+  }
+  return values;
+}
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform: return "uniform";
+    case Distribution::kSequential: return "sequential";
+    case Distribution::kSorted: return "sorted";
+    case Distribution::kHeavyHitter: return "heavy-hitter";
+    case Distribution::kMovingCluster: return "moving-cluster";
+    case Distribution::kSelfSimilar: return "self-similar";
+    case Distribution::kZipf: return "zipf";
+  }
+  return "?";
+}
+
+bool ParseDistribution(const std::string& name, Distribution* out) {
+  for (Distribution d : AllDistributions()) {
+    if (name == DistributionName(d)) {
+      *out = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Distribution> AllDistributions() {
+  return {Distribution::kUniform,       Distribution::kSequential,
+          Distribution::kSorted,        Distribution::kHeavyHitter,
+          Distribution::kMovingCluster, Distribution::kSelfSimilar,
+          Distribution::kZipf};
+}
+
+// ---------------------------------------------------------------------------
+// ZipfSampler — rejection-inversion after Hörmann & Derflinger (1996), as
+// popularized by the Apache Commons RejectionInversionZipfSampler.
+
+namespace {
+
+// (exp(t) - 1) / t, stable near t = 0.
+double Helper2(double t) {
+  return std::abs(t) > 1e-8 ? std::expm1(t) / t : 1.0 + t / 2.0 * (1.0 + t / 3.0);
+}
+
+// log1p(t) / t, stable near t = 0.
+double Helper1(double t) {
+  return std::abs(t) > 1e-8 ? std::log1p(t) / t : 1.0 - t / 2.0 + t * t / 3.0;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t k, double s) : k_(k), s_(s) {
+  CEA_CHECK_MSG(k >= 1, "zipf needs k >= 1");
+  CEA_CHECK_MSG(s > 0, "zipf exponent must be positive");
+  h_integral_x1_ = HIntegral(1.5) - 1.0;
+  h_integral_num_ = HIntegral(static_cast<double>(k) + 0.5);
+  s_threshold_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
+}
+
+double ZipfSampler::H(double x) const { return std::exp(-s_ * std::log(x)); }
+
+double ZipfSampler::HIntegral(double x) const {
+  double log_x = std::log(x);
+  return Helper2((1.0 - s_) * log_x) * log_x;
+}
+
+double ZipfSampler::HIntegralInverse(double x) const {
+  double t = x * (1.0 - s_);
+  if (t < -1.0) t = -1.0;  // guard rounding at the left boundary
+  return std::exp(Helper1(t) * x);
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  while (true) {
+    double u =
+        h_integral_num_ + rng.NextDouble() * (h_integral_x1_ - h_integral_num_);
+    double x = HIntegralInverse(u);
+    auto kx = static_cast<uint64_t>(x + 0.5);
+    if (kx < 1) {
+      kx = 1;
+    } else if (kx > k_) {
+      kx = k_;
+    }
+    double kxd = static_cast<double>(kx);
+    if (kxd - x <= s_threshold_ || u >= HIntegral(kxd + 0.5) - H(kxd)) {
+      return kx;
+    }
+  }
+}
+
+}  // namespace cea

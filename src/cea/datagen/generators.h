@@ -1,0 +1,81 @@
+// Synthetic key generators reproducing the data sets of Section 6.5.
+//
+// These follow the generators of Cieslewicz & Ross that the paper uses:
+// for any combination of N and K they produce N keys drawn from (at most)
+// K distinct values with a given distribution shape. Since data cannot
+// have K = N groups and be skewed at the same time, K is approximate for
+// the skewed distributions — exactly as in the paper.
+//
+// The moving-cluster window, self-similar skew h and heavy-hitter fraction
+// are parameters so that the Appendix A.1 sweep (Figure 10) can span a
+// range of spatial localities.
+
+#ifndef CEA_DATAGEN_GENERATORS_H_
+#define CEA_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cea {
+
+enum class Distribution : uint8_t {
+  kUniform,        // uniform over [1, K]
+  kSequential,     // round-robin 1, 2, ..., K, 1, 2, ...
+  kSorted,         // uniform over [1, K], then sorted ascending
+  kHeavyHitter,    // fraction `hh_fraction` of rows share key 1, rest uniform
+  kMovingCluster,  // uniform within a window sliding from 1 to K
+  kSelfSimilar,    // Pareto (h / 1-h rule, default 80-20)
+  kZipf,           // Zipfian with exponent `zipf_s`
+};
+
+struct GenParams {
+  uint64_t n = 0;           // number of rows
+  uint64_t k = 1;           // target number of distinct keys
+  Distribution dist = Distribution::kUniform;
+  uint64_t seed = 42;
+
+  // Distribution-specific knobs (paper defaults).
+  double hh_fraction = 0.5;       // heavy-hitter share of rows with key 1
+  uint64_t cluster_window = 1024; // moving-cluster window size
+  double self_similar_h = 0.2;    // 80-20 rule
+  double zipf_s = 0.5;            // Zipf exponent
+};
+
+// Generates the key column described by `params`.
+std::vector<uint64_t> GenerateKeys(const GenParams& params);
+
+// Generates an aggregate input column: uniform values in [0, 2^20), cheap
+// to sum without overflow across 2^32 rows.
+std::vector<uint64_t> GenerateValues(uint64_t n, uint64_t seed);
+
+// Parsing/printing for bench CLIs.
+const char* DistributionName(Distribution d);
+bool ParseDistribution(const std::string& name, Distribution* out);
+std::vector<Distribution> AllDistributions();
+
+// Zipf sampler over [1, k] with exponent s > 0, using Hörmann & Derflinger
+// rejection-inversion: O(1) per sample with no O(k) precomputation table.
+class Rng;
+
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t k, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+ private:
+  double H(double x) const;
+  double HIntegral(double x) const;
+  double HIntegralInverse(double x) const;
+
+  uint64_t k_;
+  double s_;
+  double h_integral_x1_;
+  double h_integral_num_;
+  double s_threshold_;
+};
+
+}  // namespace cea
+
+#endif  // CEA_DATAGEN_GENERATORS_H_

@@ -1,0 +1,74 @@
+#include "cea/exec/task_scheduler.h"
+
+#include "cea/common/check.h"
+
+namespace cea {
+
+TaskScheduler::TaskScheduler(int num_threads) {
+  CEA_CHECK_MSG(num_threads >= 1, "need at least one worker");
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskScheduler::Submit(Task task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++outstanding_;
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void TaskScheduler::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void TaskScheduler::ParallelFor(size_t n,
+                                const std::function<void(int, size_t)>& fn) {
+  if (n == 0) return;
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  size_t tasks = static_cast<size_t>(num_threads()) < n
+                     ? static_cast<size_t>(num_threads())
+                     : n;
+  for (size_t t = 0; t < tasks; ++t) {
+    Submit([cursor, n, &fn](int worker_id) {
+      for (size_t i = cursor->fetch_add(1, std::memory_order_relaxed); i < n;
+           i = cursor->fetch_add(1, std::memory_order_relaxed)) {
+        fn(worker_id, i);
+      }
+    });
+  }
+  Wait();
+}
+
+void TaskScheduler::WorkerLoop(int worker_id) {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task(worker_id);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--outstanding_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace cea

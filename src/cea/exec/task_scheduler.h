@@ -1,0 +1,72 @@
+// Task scheduler for the operator's two axes of parallelism (Section 3.2).
+//
+// The algorithm parallelizes (a) the loop over the input runs of a bucket
+// — via shared atomic morsel cursors so idle threads can steal parts of a
+// large bucket — and (b) the recursive calls on different buckets — via
+// independent tasks. Threads share no data structures on the processing
+// path; the scheduler only hands out work items, so synchronization is
+// restricted to run management between passes, exactly as the paper
+// requires.
+//
+// Recursion never blocks: a pass that finishes schedules its continuation
+// (the child buckets) instead of waiting on them, and the initiating
+// thread waits only once for global quiescence. This keeps every pool
+// thread running morsels rather than parked on join barriers.
+
+#ifndef CEA_EXEC_TASK_SCHEDULER_H_
+#define CEA_EXEC_TASK_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cea {
+
+class TaskScheduler {
+ public:
+  // A task receives the id of the worker executing it ([0, num_threads)),
+  // which indexes per-thread contexts (hash tables, SWC buffers, run sets).
+  using Task = std::function<void(int worker_id)>;
+
+  explicit TaskScheduler(int num_threads);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  // Enqueues a task. May be called from worker threads (recursive
+  // scheduling of child buckets) or from outside the pool.
+  void Submit(Task task);
+
+  // Blocks the calling (non-worker) thread until every submitted task —
+  // including tasks submitted by running tasks — has finished.
+  void Wait();
+
+  // Runs fn(worker_id, index) for every index in [0, n), distributing
+  // indices over the pool via an atomic cursor. Blocks until done. Must be
+  // called from outside the pool (it waits), and only while no other tasks
+  // are in flight.
+  void ParallelFor(size_t n, const std::function<void(int, size_t)>& fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop(int worker_id);
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<Task> queue_;
+  size_t outstanding_ = 0;  // queued + running tasks, guarded by mutex_
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cea
+
+#endif  // CEA_EXEC_TASK_SCHEDULER_H_

@@ -1,0 +1,53 @@
+// Hashing of (possibly composite) grouping keys.
+//
+// A grouping key is one or more 64-bit column values ("key words"). The
+// single-column case is the operator's hot path and uses MurmurHash64
+// directly; composite keys chain the per-word hash as the seed of the
+// next word, which preserves Murmur's avalanche across all words.
+
+#ifndef CEA_HASH_KEY_HASH_H_
+#define CEA_HASH_KEY_HASH_H_
+
+#include <cstdint>
+
+#include "cea/hash/murmur.h"
+
+namespace cea {
+
+// Hash of the `key_words`-wide key stored contiguously at `key`.
+inline uint64_t HashKey(const uint64_t* key, int key_words) {
+  if (key_words == 1) return MurmurHash64(key[0]);
+  uint64_t h = 0;
+  for (int w = 0; w < key_words; ++w) {
+    h = MurmurHash64(key[w], h);
+  }
+  return h;
+}
+
+// Hash of row `i` of a columnar key (one pointer per key word).
+inline uint64_t HashKeyColumns(const uint64_t* const* key_cols, size_t i,
+                               int key_words) {
+  if (key_words == 1) return MurmurHash64(key_cols[0][i]);
+  uint64_t h = 0;
+  for (int w = 0; w < key_words; ++w) {
+    h = MurmurHash64(key_cols[w][i], h);
+  }
+  return h;
+}
+
+// Word-wise equality of two keys.
+inline bool KeyEquals(const uint64_t* a, const uint64_t* b, int key_words) {
+  if (key_words == 1) return a[0] == b[0];
+  for (int w = 0; w < key_words; ++w) {
+    if (a[w] != b[w]) return false;
+  }
+  return true;
+}
+
+// Maximum supported key width. Wide enough for realistic GROUP BY lists;
+// keeps per-row gather buffers on the stack.
+inline constexpr int kMaxKeyWords = 8;
+
+}  // namespace cea
+
+#endif  // CEA_HASH_KEY_HASH_H_

@@ -1,0 +1,52 @@
+#include "cea/hash/murmur.h"
+
+#include <cstring>
+
+namespace cea {
+
+uint64_t MurmurHash64A(const void* key, size_t len, uint64_t seed) {
+  const uint64_t m = 0xc6a4a7935bd1e995ULL;
+  const int r = 47;
+
+  uint64_t h = seed ^ (len * m);
+
+  const auto* data = static_cast<const unsigned char*>(key);
+  const unsigned char* end = data + (len & ~size_t{7});
+
+  while (data != end) {
+    uint64_t k;
+    std::memcpy(&k, data, 8);
+    data += 8;
+
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+
+    h ^= k;
+    h *= m;
+  }
+
+  uint64_t tail = 0;
+  switch (len & 7) {
+    case 7: tail ^= uint64_t{data[6]} << 48; [[fallthrough]];
+    case 6: tail ^= uint64_t{data[5]} << 40; [[fallthrough]];
+    case 5: tail ^= uint64_t{data[4]} << 32; [[fallthrough]];
+    case 4: tail ^= uint64_t{data[3]} << 24; [[fallthrough]];
+    case 3: tail ^= uint64_t{data[2]} << 16; [[fallthrough]];
+    case 2: tail ^= uint64_t{data[1]} << 8; [[fallthrough]];
+    case 1:
+      tail ^= uint64_t{data[0]};
+      h ^= tail;
+      h *= m;
+      break;
+    default:
+      break;
+  }
+
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+  return h;
+}
+
+}  // namespace cea

@@ -1,0 +1,44 @@
+// Extraction of radix digits from hash values.
+//
+// The framework (Section 3.1) is an MSD radix sort on hash values: every
+// recursion level consumes the next 8 bits of the 64-bit hash, starting at
+// the most significant bits. With 8 bits per level there are 8 levels before
+// the hash is exhausted; the operator then falls back to an exact-key
+// growable table (unreachable for non-adversarial inputs).
+
+#ifndef CEA_HASH_RADIX_H_
+#define CEA_HASH_RADIX_H_
+
+#include <cstdint>
+
+#include "cea/common/check.h"
+
+namespace cea {
+
+// Partitioning fan-out. Section 4.2: software write-combining works best
+// with 256 partitions, so the framework always splits runs 256 ways.
+inline constexpr int kRadixBits = 8;
+inline constexpr uint32_t kFanOut = 1u << kRadixBits;
+
+// Number of usable radix levels in a 64-bit hash.
+inline constexpr int kMaxRadixLevel = 64 / kRadixBits;  // = 8
+
+// Digit of `hash` at recursion `level` (0 = most significant byte).
+inline uint32_t RadixDigit(uint64_t hash, int level) {
+  CEA_DCHECK(level >= 0 && level < kMaxRadixLevel);
+  return static_cast<uint32_t>(hash >> (64 - kRadixBits * (level + 1))) &
+         (kFanOut - 1);
+}
+
+// Bits of `hash` below the digit of `level`; used to pick the probe start
+// inside a radix block of the hash table so that probing never consults
+// bits that will be consumed by deeper recursion levels' digits only.
+inline uint64_t SubDigitBits(uint64_t hash, int level) {
+  CEA_DCHECK(level >= 0 && level < kMaxRadixLevel);
+  int shift = kRadixBits * (level + 1);
+  return shift >= 64 ? 0 : hash << shift >> shift;
+}
+
+}  // namespace cea
+
+#endif  // CEA_HASH_RADIX_H_

@@ -1,0 +1,105 @@
+#include "cea/mem/chunked_array.h"
+
+#include <cstdlib>
+
+namespace cea {
+
+ChunkedArray::~ChunkedArray() { Clear(); }
+
+ChunkedArray::ChunkedArray(ChunkedArray&& other) noexcept
+    : chunks_(std::move(other.chunks_)),
+      tail_(other.tail_),
+      tail_left_(other.tail_left_),
+      size_(other.size_),
+      allocated_bytes_(other.allocated_bytes_) {
+  other.chunks_.clear();
+  other.tail_ = nullptr;
+  other.tail_left_ = 0;
+  other.size_ = 0;
+  other.allocated_bytes_ = 0;
+}
+
+ChunkedArray& ChunkedArray::operator=(ChunkedArray&& other) noexcept {
+  if (this != &other) {
+    Clear();
+    chunks_ = std::move(other.chunks_);
+    tail_ = other.tail_;
+    tail_left_ = other.tail_left_;
+    size_ = other.size_;
+    allocated_bytes_ = other.allocated_bytes_;
+    other.chunks_.clear();
+    other.tail_ = nullptr;
+    other.tail_left_ = 0;
+    other.size_ = 0;
+    other.allocated_bytes_ = 0;
+  }
+  return *this;
+}
+
+void ChunkedArray::AddChunk(size_t min_capacity) {
+  // Invariant: a new chunk is only linked when the tail is exhausted, so
+  // all chunks except the last are completely full.
+  CEA_CHECK(tail_left_ == 0);
+  size_t capacity = chunks_.empty() ? kMinChunkElems
+                                    : chunks_.back().capacity * 2;
+  if (capacity > kMaxChunkElems) capacity = kMaxChunkElems;
+  if (capacity < min_capacity) {
+    capacity = (min_capacity + kLineElems - 1) & ~(kLineElems - 1);
+  }
+  void* mem = std::aligned_alloc(kCacheLineBytes, capacity * sizeof(uint64_t));
+  CEA_CHECK_MSG(mem != nullptr, "out of memory allocating run chunk");
+  chunks_.push_back(Chunk{static_cast<uint64_t*>(mem), capacity});
+  tail_ = static_cast<uint64_t*>(mem);
+  tail_left_ = capacity;
+  allocated_bytes_ += capacity * sizeof(uint64_t);
+}
+
+void ChunkedArray::AppendBulk(const uint64_t* src, size_t n) {
+  while (n != 0) {
+    if (tail_left_ == 0) AddChunk(n);
+    size_t take = n < tail_left_ ? n : tail_left_;
+    std::memcpy(tail_, src, take * sizeof(uint64_t));
+    tail_ += take;
+    tail_left_ -= take;
+    size_ += take;
+    src += take;
+    n -= take;
+  }
+}
+
+uint64_t ChunkedArray::At(size_t i) const {
+  CEA_CHECK(i < size_);
+  for (const Chunk& c : chunks_) {
+    size_t used = ChunkUsed(c);
+    if (i < used) return c.data[i];
+    i -= used;
+  }
+  CEA_CHECK(false);  // unreachable
+  return 0;
+}
+
+void ChunkedArray::CopyTo(uint64_t* dst) const {
+  ForEachChunk([&dst](const uint64_t* data, size_t n) {
+    std::memcpy(dst, data, n * sizeof(uint64_t));
+    dst += n;
+  });
+}
+
+std::vector<uint64_t> ChunkedArray::ToVector() const {
+  std::vector<uint64_t> out(size_);
+  if (size_ != 0) CopyTo(out.data());
+  return out;
+}
+
+void ChunkedArray::Clear() {
+  for (Chunk& c : chunks_) {
+    std::free(c.data);
+  }
+  chunks_.clear();
+  tail_ = nullptr;
+  tail_left_ = 0;
+  size_ = 0;
+  allocated_bytes_ = 0;
+}
+
+}  // namespace cea

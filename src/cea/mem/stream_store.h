@@ -1,0 +1,80 @@
+// Non-temporal ("streaming") store wrappers.
+//
+// Software write-combining (Section 4.2) buffers one cache line per
+// partition and flushes it with a non-temporal store that bypasses the
+// cache, avoiding the read-for-ownership of a normal store and keeping the
+// partition buffers from evicting the working set. On x86-64 we use
+// MOVNTDQ/MOVNTI; defining CEA_NO_NT_STORES selects a portable fallback so
+// the library still builds on other ISAs (at reduced partitioning speed).
+
+#ifndef CEA_MEM_STREAM_STORE_H_
+#define CEA_MEM_STREAM_STORE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "cea/common/check.h"
+#include "cea/common/machine.h"
+
+#if defined(__SSE2__) && !defined(CEA_NO_NT_STORES)
+#include <immintrin.h>
+#define CEA_HAS_NT_STORES 1
+#else
+#define CEA_HAS_NT_STORES 0
+#endif
+
+namespace cea {
+
+// Copies one 64-byte cache line from `src` (any alignment) to `dst`
+// (must be 64-byte aligned) without allocating it in the cache.
+inline void StreamStoreLine(void* dst, const void* src) {
+  CEA_DCHECK((reinterpret_cast<uintptr_t>(dst) & (kCacheLineBytes - 1)) == 0);
+#if CEA_HAS_NT_STORES && defined(__AVX512F__)
+  _mm512_stream_si512(static_cast<__m512i*>(dst),
+                      _mm512_loadu_si512(static_cast<const __m512i*>(src)));
+#elif CEA_HAS_NT_STORES && defined(__AVX__)
+  auto* d = static_cast<__m256i*>(dst);
+  const auto* s = static_cast<const __m256i*>(src);
+  _mm256_stream_si256(d, _mm256_loadu_si256(s));
+  _mm256_stream_si256(d + 1, _mm256_loadu_si256(s + 1));
+#elif CEA_HAS_NT_STORES
+  auto* d = static_cast<__m128i*>(dst);
+  const auto* s = static_cast<const __m128i*>(src);
+  for (int i = 0; i < 4; ++i) {
+    _mm_stream_si128(d + i, _mm_loadu_si128(s + i));
+  }
+#else
+  std::memcpy(dst, src, kCacheLineBytes);
+#endif
+}
+
+// Fence making all preceding streaming stores globally visible. Must be
+// called before another thread reads memory written via StreamStoreLine.
+inline void StreamFence() {
+#if CEA_HAS_NT_STORES
+  _mm_sfence();
+#endif
+}
+
+// memcpy built on streaming stores; the Figure 3 micro-benchmark uses it as
+// the "speed of light" reference for partitioning bandwidth. `dst` must be
+// 64-byte aligned; `bytes` is rounded down to whole lines, the tail is
+// copied normally.
+inline void StreamMemcpy(void* dst, const void* src, size_t bytes) {
+  auto* d = static_cast<unsigned char*>(dst);
+  const auto* s = static_cast<const unsigned char*>(src);
+  size_t lines = bytes / kCacheLineBytes;
+  for (size_t i = 0; i < lines; ++i) {
+    StreamStoreLine(d + i * kCacheLineBytes, s + i * kCacheLineBytes);
+  }
+  size_t tail = bytes - lines * kCacheLineBytes;
+  if (tail != 0) {
+    std::memcpy(d + lines * kCacheLineBytes, s + lines * kCacheLineBytes,
+                tail);
+  }
+  StreamFence();
+}
+
+}  // namespace cea
+
+#endif  // CEA_MEM_STREAM_STORE_H_

@@ -1,0 +1,68 @@
+#include "cea/model/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cea/common/check.h"
+
+namespace cea {
+namespace {
+
+// ceil(log_base(x)) for x >= 1; 0 for x <= 1.
+int CeilLog(double base, double x) {
+  if (x <= 1.0) return 0;
+  // Guard against floating point noise right at integer powers.
+  double l = std::log(x) / std::log(base);
+  double r = std::ceil(l - 1e-9);
+  return static_cast<int>(r);
+}
+
+}  // namespace
+
+double SortAggStatic(const ModelParams& p, double k) {
+  CEA_CHECK(p.b >= 1 && p.m >= p.b && p.n >= 1);
+  // Bucket sort with fan-out M/B recursing until a partition fits into fast
+  // memory; each pass reads and writes the full data.
+  int passes = CeilLog(p.m / p.b, p.n / p.m);
+  return 2.0 * (p.n / p.b) * passes + p.n / p.b + k / p.b;
+}
+
+double SortAgg(const ModelParams& p, double k) {
+  // Multiset refinement: the call tree has min(N/M, K) leaves — at most one
+  // per partition, but never more than one per distinct key.
+  double leaves = std::min(p.n / p.m, k);
+  int passes = CeilLog(p.m / p.b, leaves);
+  return 2.0 * (p.n / p.b) * passes + p.n / p.b + k / p.b;
+}
+
+int OptimizedPasses(const ModelParams& p, double k) {
+  // Merging aggregation into the last pass lets a leaf cover M groups
+  // (instead of M/B partitions), so only K/M leaves remain. Each remaining
+  // level splits the groups by a factor M/B.
+  return CeilLog(p.m / p.b, k / p.m);
+}
+
+double SortAggOpt(const ModelParams& p, double k) {
+  int passes = OptimizedPasses(p, k);
+  // Read input once, write+read intermediates once per partitioning pass,
+  // write the output once. The final (aggregating) pass produces its result
+  // in cache and is covered by the last intermediate read.
+  return p.n / p.b + 2.0 * (p.n / p.b) * passes + k / p.b;
+}
+
+double HashAgg(const ModelParams& p, double k) {
+  double base = p.n / p.b + k / p.b;
+  if (k <= p.m) return base;
+  // A fraction M/K of the groups can be cached; every access to any other
+  // group's row costs a full miss: one write-back plus one read.
+  double miss_fraction = 1.0 - p.m / k;
+  return base + 2.0 * p.n * miss_fraction;
+}
+
+double HashAggOpt(const ModelParams& p, double k) {
+  // Recursive pre-partitioning by hash value has exactly the costs of the
+  // optimized bucket sort — the central identity of Section 2.
+  return SortAggOpt(p, k);
+}
+
+}  // namespace cea

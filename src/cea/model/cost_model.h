@@ -1,0 +1,51 @@
+// External-memory cost model of Section 2.
+//
+// Cache line transfers of the textbook aggregation algorithms in the
+// external memory model with N input rows, K groups, fast memory of M rows
+// and cache lines of B rows. These are the exact formulas behind Figure 1;
+// the bench target fig01_cost_model regenerates the figure's series, and
+// the unit tests verify the paper's central identity
+// HashAggOpt(N,K) == SortAggOpt(N,K).
+
+#ifndef CEA_MODEL_COST_MODEL_H_
+#define CEA_MODEL_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace cea {
+
+struct ModelParams {
+  double n;  // input rows N
+  double m;  // fast-memory capacity in rows M
+  double b;  // cache line capacity in rows B
+};
+
+// Naive sort-based aggregation with a static recursion depth of
+// ceil(log_{M/B}(N/M)) bucket-sort passes followed by an aggregation pass.
+double SortAggStatic(const ModelParams& p, double k);
+
+// Sort-based aggregation accounting for the multiset nature of the keys:
+// the call tree has at most min(N/M, K) leaves, so recursion stops earlier
+// for small K. Matches the multiset-sorting lower bound.
+double SortAgg(const ModelParams& p, double k);
+
+// Optimized sort-based aggregation: the last bucket-sort pass aggregates
+// in-place, eliminating one full pass and enlarging the effective leaf
+// capacity from M/B to M partitions (Section 2.1, third iteration).
+double SortAggOpt(const ModelParams& p, double k);
+
+// Naive hash aggregation: free while the table fits in cache (K <= M), one
+// cache miss (2 transfers) per row beyond that.
+double HashAgg(const ModelParams& p, double k);
+
+// Hash aggregation with recursive pre-partitioning; identical cost to
+// SortAggOpt (Section 2.2).
+double HashAggOpt(const ModelParams& p, double k);
+
+// Number of partitioning passes the optimized algorithms need before each
+// bucket's groups fit into fast memory (0 when K <= M).
+int OptimizedPasses(const ModelParams& p, double k);
+
+}  // namespace cea
+
+#endif  // CEA_MODEL_COST_MODEL_H_

@@ -1,0 +1,43 @@
+#include "cea/sim/cache_sim.h"
+
+namespace cea {
+
+LruCacheSim::LruCacheSim(uint64_t capacity_rows, uint64_t line_rows)
+    : line_rows_(line_rows), capacity_lines_(capacity_rows / line_rows) {
+  CEA_CHECK_MSG(line_rows >= 1, "line must hold at least one row");
+  CEA_CHECK_MSG(capacity_lines_ >= 1, "cache must hold at least one line");
+  index_.reserve(capacity_lines_ * 2);
+}
+
+void LruCacheSim::Touch(uint64_t line, bool write) {
+  auto it = index_.find(line);
+  if (it != index_.end()) {
+    // Hit: move to front, possibly mark dirty.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (write) it->second->dirty = true;
+    return;
+  }
+  // Miss: one line read (even for writes — read-for-ownership; this is
+  // the convention the Section 2 analysis uses for hash tables; streaming
+  // stores that avoid it are a constant-factor refinement outside the
+  // model).
+  ++line_reads_;
+  if (lru_.size() == capacity_lines_) {
+    Entry& victim = lru_.back();
+    if (victim.dirty) ++line_writes_;
+    index_.erase(victim.line);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{line, write});
+  index_[line] = lru_.begin();
+}
+
+void LruCacheSim::Flush() {
+  for (const Entry& e : lru_) {
+    if (e.dirty) ++line_writes_;
+  }
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace cea

@@ -1,0 +1,65 @@
+// LRU cache simulator for validating the Section 2 analysis.
+//
+// Figure 1 is analytic: the paper derives cache-line-transfer formulas in
+// the external memory model (fast memory of M rows, lines of B rows) and
+// plots them. This simulator provides the missing empirical leg: the
+// textbook algorithms are replayed as element-granular memory traces
+// against a fully-associative LRU cache, and the counted line transfers
+// are compared with the model (tests + fig01_simulated bench).
+//
+// Transfers follow the external-memory convention: a miss costs one line
+// read; evicting a dirty line costs one line write-back. Flush() writes
+// back all remaining dirty lines (end-of-algorithm accounting).
+
+#ifndef CEA_SIM_CACHE_SIM_H_
+#define CEA_SIM_CACHE_SIM_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "cea/common/check.h"
+
+namespace cea {
+
+class LruCacheSim {
+ public:
+  // `capacity_rows` = M and `line_rows` = B, both in row/element units;
+  // the cache holds M/B lines.
+  LruCacheSim(uint64_t capacity_rows, uint64_t line_rows);
+
+  // Element-granular accesses; addresses are abstract row indices in a
+  // flat address space (callers lay out their arrays at disjoint bases).
+  void Read(uint64_t addr) { Touch(addr / line_rows_, /*write=*/false); }
+  void Write(uint64_t addr) { Touch(addr / line_rows_, /*write=*/true); }
+
+  // Writes back all dirty lines and empties the cache.
+  void Flush();
+
+  uint64_t line_reads() const { return line_reads_; }
+  uint64_t line_writes() const { return line_writes_; }
+  uint64_t transfers() const { return line_reads_ + line_writes_; }
+  uint64_t capacity_lines() const { return capacity_lines_; }
+  uint64_t line_rows() const { return line_rows_; }
+
+ private:
+  struct Entry {
+    uint64_t line;
+    bool dirty;
+  };
+
+  void Touch(uint64_t line, bool write);
+
+  uint64_t line_rows_;
+  uint64_t capacity_lines_;
+  uint64_t line_reads_ = 0;
+  uint64_t line_writes_ = 0;
+
+  // LRU order: front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace cea
+
+#endif  // CEA_SIM_CACHE_SIM_H_

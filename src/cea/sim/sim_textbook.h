@@ -1,0 +1,51 @@
+// Memory-trace replays of the Section 2 aggregation algorithms against
+// the LRU cache simulator. Each function aggregates `keys` (only the
+// access pattern matters; aggregate values are assumed to ride along in
+// the same rows) and returns the number of simulated line transfers, to
+// be compared against the closed-form model in cea/model.
+//
+// Address-space layout: every logical array (input, per-pass buffers,
+// hash table, output) lives at its own base in a flat address space, so
+// the simulator sees the same working-set structure as the real
+// algorithm.
+
+#ifndef CEA_SIM_SIM_TEXTBOOK_H_
+#define CEA_SIM_SIM_TEXTBOOK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cea {
+
+struct SimResult {
+  uint64_t transfers = 0;
+  int passes = 0;  // partitioning/sort passes performed (excl. final)
+};
+
+// Naive HASHAGGREGATION: sequential input read, random table row
+// read+write per input row, final output write. Table has one row per
+// group (ideal, collision-free — matching the model's assumptions).
+SimResult SimHashAgg(const std::vector<uint64_t>& keys, uint64_t m,
+                     uint64_t b);
+
+// HASHAGGREGATION-OPTIMIZED / the framework: recursively partition by
+// hash digits (fan-out M/B buckets per pass, sequential streams) until a
+// bucket's groups fit into M rows, then aggregate it with an in-cache
+// table.
+SimResult SimHashAggOpt(const std::vector<uint64_t>& keys, uint64_t m,
+                        uint64_t b);
+
+// Naive SORTAGGREGATION: full recursive bucket sort (until runs fit in
+// fast memory), then a separate sequential aggregation pass.
+SimResult SimSortAgg(const std::vector<uint64_t>& keys, uint64_t m,
+                     uint64_t b);
+
+// SORTAGGREGATION-OPTIMIZED: last sort pass merged with aggregation —
+// identical trace structure to SimHashAggOpt (that is the point).
+SimResult SimSortAggOpt(const std::vector<uint64_t>& keys, uint64_t m,
+                        uint64_t b);
+
+}  // namespace cea
+
+#endif  // CEA_SIM_SIM_TEXTBOOK_H_

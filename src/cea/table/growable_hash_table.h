@@ -1,0 +1,85 @@
+// GrowableHashTable: exact-key open-addressing table that doubles when it
+// exceeds a 50% fill rate.
+//
+// This is *not* on the operator's hot path. It serves two purposes:
+//  1. the total-correctness fallback when a bucket has exhausted all 8
+//     radix levels of the 64-bit hash (only reachable with adversarially
+//     hash-colliding keys), and
+//  2. a building block for the reference aggregator and some baselines,
+//     where the paper's competitors rely on an optimizer-provided output
+//     cardinality to pre-size their tables.
+
+#ifndef CEA_TABLE_GROWABLE_HASH_TABLE_H_
+#define CEA_TABLE_GROWABLE_HASH_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cea/columnar/aggregate_function.h"
+#include "cea/common/bits.h"
+#include "cea/common/check.h"
+#include "cea/hash/key_hash.h"
+
+namespace cea {
+
+class GrowableHashTable {
+ public:
+  // `expected_groups` pre-sizes the table (pass 0 when unknown).
+  GrowableHashTable(int key_words, const StateLayout& layout,
+                    size_t expected_groups);
+  GrowableHashTable(const StateLayout& layout, size_t expected_groups)
+      : GrowableHashTable(1, layout, expected_groups) {}
+
+  GrowableHashTable(const GrowableHashTable&) = delete;
+  GrowableHashTable& operator=(const GrowableHashTable&) = delete;
+  GrowableHashTable(GrowableHashTable&&) = default;
+  GrowableHashTable& operator=(GrowableHashTable&&) = default;
+
+  // Finds or claims the slot for the key gathered at `key` (key_words()
+  // words); new slots start at the function identities. Never fails.
+  size_t FindOrInsert(const uint64_t* key);
+
+  // Single-word-key convenience.
+  size_t FindOrInsert(uint64_t key) {
+    CEA_DCHECK(key_words_ == 1);
+    return FindOrInsert(&key);
+  }
+
+  size_t size() const { return fill_; }
+  size_t capacity() const { return capacity_; }
+  int key_words() const { return key_words_; }
+
+  uint64_t* state_array(int word) {
+    return states_.data() + static_cast<size_t>(word) * capacity_;
+  }
+  const uint64_t* state_array(int word) const {
+    return states_.data() + static_cast<size_t>(word) * capacity_;
+  }
+  const uint64_t* key_array(int word = 0) const {
+    return keys_.data() + static_cast<size_t>(word) * capacity_;
+  }
+
+  // Iterates all occupied slots: f(slot_index).
+  template <typename F>
+  void ForEachSlot(F&& f) const {
+    for (size_t s = 0; s < capacity_; ++s) {
+      if (occupied_[s]) f(s);
+    }
+  }
+
+ private:
+  void Grow();
+
+  int key_words_;
+  int layout_words_;
+  size_t capacity_ = 0;
+  std::vector<uint64_t> identities_;
+  std::vector<uint64_t> keys_;    // [key word][capacity]
+  std::vector<uint64_t> states_;  // [state word][capacity]
+  std::vector<uint8_t> occupied_;
+  size_t fill_ = 0;
+};
+
+}  // namespace cea
+
+#endif  // CEA_TABLE_GROWABLE_HASH_TABLE_H_

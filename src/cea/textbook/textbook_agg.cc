@@ -1,0 +1,162 @@
+#include "cea/textbook/textbook_agg.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "cea/columnar/aggregate_function.h"
+#include "cea/hash/murmur.h"
+#include "cea/hash/radix.h"
+#include "cea/table/growable_hash_table.h"
+
+namespace cea {
+namespace {
+
+// Rows travel through the bucket sort as (hash, key) so deeper levels
+// need not rehash — mirroring how a disk-based system would carry the
+// derived sort key.
+struct HashedRow {
+  uint64_t hash;
+  uint64_t key;
+};
+
+void SortAggRecurse(std::vector<HashedRow>& rows, int level,
+                    size_t fast_memory_rows, GroupCounts* out) {
+  if (rows.size() <= fast_memory_rows || level >= kMaxRadixLevel) {
+    // Leaf: finish sorting, then aggregate neighbors in a separate scan.
+    std::sort(rows.begin(), rows.end(), [](const HashedRow& a,
+                                           const HashedRow& b) {
+      return a.hash != b.hash ? a.hash < b.hash : a.key < b.key;
+    });
+    size_t i = 0;
+    while (i < rows.size()) {
+      size_t j = i + 1;
+      while (j < rows.size() && rows[j].key == rows[i].key &&
+             rows[j].hash == rows[i].hash) {
+        ++j;
+      }
+      out->keys.push_back(rows[i].key);
+      out->counts.push_back(j - i);
+      i = j;
+    }
+    return;
+  }
+  // Bucket-sort pass: move every row to its digit's bucket.
+  std::vector<std::vector<HashedRow>> buckets(kFanOut);
+  for (const HashedRow& r : rows) {
+    buckets[RadixDigit(r.hash, level)].push_back(r);
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+  for (auto& bucket : buckets) {
+    if (!bucket.empty()) {
+      SortAggRecurse(bucket, level + 1, fast_memory_rows, out);
+    }
+  }
+}
+
+}  // namespace
+
+GroupCounts TextbookHashAggregation(const uint64_t* keys, size_t n,
+                                    size_t k_hint) {
+  StateLayout layout({{AggFn::kCount, -1}});
+  GrowableHashTable table(layout, k_hint);
+  for (size_t i = 0; i < n; ++i) {
+    size_t slot = table.FindOrInsert(keys[i]);
+    table.state_array(0)[slot] += 1;
+  }
+  GroupCounts out;
+  out.keys.reserve(table.size());
+  out.counts.reserve(table.size());
+  table.ForEachSlot([&](size_t slot) {
+    out.keys.push_back(table.key_array()[slot]);
+    out.counts.push_back(table.state_array(0)[slot]);
+  });
+  return out;
+}
+
+GroupCounts TextbookSortAggregation(const uint64_t* keys, size_t n,
+                                    size_t fast_memory_bytes) {
+  std::vector<HashedRow> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows[i] = HashedRow{MurmurHash64(keys[i]), keys[i]};
+  }
+  GroupCounts out;
+  SortAggRecurse(rows, 0, fast_memory_bytes / sizeof(HashedRow), &out);
+  return out;
+}
+
+namespace {
+
+struct AggRow {
+  uint64_t key;
+  uint64_t count;
+};
+
+// Merges two key-sorted, key-distinct runs, combining equal keys.
+std::vector<AggRow> MergeAggregate(const std::vector<AggRow>& a,
+                                   const std::vector<AggRow>& b) {
+  std::vector<AggRow> out;
+  out.reserve(a.size() + b.size());
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].key < b[j].key) {
+      out.push_back(a[i++]);
+    } else if (b[j].key < a[i].key) {
+      out.push_back(b[j++]);
+    } else {
+      out.push_back(AggRow{a[i].key, a[i].count + b[j].count});
+      ++i;
+      ++j;
+    }
+  }
+  while (i < a.size()) out.push_back(a[i++]);
+  while (j < b.size()) out.push_back(b[j++]);
+  return out;
+}
+
+}  // namespace
+
+GroupCounts MergeSortEarlyAggregation(const uint64_t* keys, size_t n,
+                                      size_t run_rows) {
+  CEA_CHECK_MSG(run_rows >= 1, "runs must hold at least one row");
+  // Phase 1: sorted, aggregated initial runs of `run_rows` input rows.
+  std::vector<std::vector<AggRow>> runs;
+  for (size_t begin = 0; begin < n; begin += run_rows) {
+    size_t end = std::min(n, begin + run_rows);
+    std::vector<uint64_t> chunk(keys + begin, keys + end);
+    std::sort(chunk.begin(), chunk.end());
+    std::vector<AggRow> run;
+    size_t i = 0;
+    while (i < chunk.size()) {
+      size_t j = i + 1;
+      while (j < chunk.size() && chunk[j] == chunk[i]) ++j;
+      run.push_back(AggRow{chunk[i], j - i});
+      i = j;
+    }
+    runs.push_back(std::move(run));
+  }
+
+  // Phase 2: binary merge tree; each merge aggregates, so upper levels
+  // shrink whenever keys repeat across runs.
+  while (runs.size() > 1) {
+    std::vector<std::vector<AggRow>> next;
+    for (size_t r = 0; r + 1 < runs.size(); r += 2) {
+      next.push_back(MergeAggregate(runs[r], runs[r + 1]));
+    }
+    if (runs.size() % 2 == 1) next.push_back(std::move(runs.back()));
+    runs = std::move(next);
+  }
+
+  GroupCounts out;
+  if (!runs.empty()) {
+    out.keys.reserve(runs[0].size());
+    out.counts.reserve(runs[0].size());
+    for (const AggRow& row : runs[0]) {
+      out.keys.push_back(row.key);
+      out.counts.push_back(row.count);
+    }
+  }
+  return out;
+}
+
+}  // namespace cea

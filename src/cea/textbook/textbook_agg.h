@@ -1,0 +1,49 @@
+// Textbook aggregation algorithms of Section 2, implemented naively on
+// purpose. They are the empirical counterpart of the cost model in
+// cea/model: TextbookHashAggregation triggers ~one cache miss per row
+// once K exceeds the cache, while TextbookSortAggregation pays a full
+// extra pass because sorting and aggregating are separate. The optimized
+// variants (recursive pre-partitioning for hashing, aggregation merged
+// into the last pass for sorting) are exactly what the production
+// operator's PartitionAlways / HashingOnly policies implement, so the
+// sec02 bench compares all four.
+//
+// Like the Section 6.4 baselines these operate on the DISTINCT/COUNT
+// query shape: one 64-bit key column, counting rows per group.
+
+#ifndef CEA_TEXTBOOK_TEXTBOOK_AGG_H_
+#define CEA_TEXTBOOK_TEXTBOOK_AGG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cea/baselines/baseline.h"
+
+namespace cea {
+
+// Naive HASHAGGREGATION: insert every row into one exact-key hash table
+// sized for the output (the optimizer-provided k_hint). Reads the input
+// once; random access to the table costs a miss per row once the table
+// exceeds the cache.
+GroupCounts TextbookHashAggregation(const uint64_t* keys, size_t n,
+                                    size_t k_hint);
+
+// Naive SORTAGGREGATION: recursive 256-way bucket sort on hash digits
+// until a bucket fits into `fast_memory_bytes`, then sort the bucket and
+// aggregate equal neighbors in a *separate* pass (no early aggregation,
+// no merged final pass — the textbook structure the paper analyses
+// first).
+GroupCounts TextbookSortAggregation(const uint64_t* keys, size_t n,
+                                    size_t fast_memory_bytes);
+
+// Merge sort with early aggregation (Bitton & DeWitt 1983; the paper's
+// conclusion invites augmenting other sort algorithms this way): initial
+// cache-sized runs are sorted and deduplicated, and every merge step
+// combines equal keys, so the data shrinks at every level when the input
+// has duplicates.
+GroupCounts MergeSortEarlyAggregation(const uint64_t* keys, size_t n,
+                                      size_t run_rows);
+
+}  // namespace cea
+
+#endif  // CEA_TEXTBOOK_TEXTBOOK_AGG_H_

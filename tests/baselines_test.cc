@@ -1,0 +1,150 @@
+// Correctness tests of the prior-work baselines (Section 6.4) against the
+// scalar reference.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cea/baselines/baseline.h"
+#include "cea/datagen/generators.h"
+
+namespace cea {
+namespace {
+
+constexpr size_t kTestL3 = 1 << 20;  // small "L3" keeps tables snappy
+
+enum class Kind { kAtomic, kIndependent, kHybrid, kPartAgg, kPlat };
+
+std::unique_ptr<GroupCountBaseline> Make(Kind kind) {
+  switch (kind) {
+    case Kind::kAtomic: return MakeAtomicBaseline(kTestL3);
+    case Kind::kIndependent: return MakeIndependentBaseline(kTestL3);
+    case Kind::kHybrid: return MakeHybridBaseline(kTestL3);
+    case Kind::kPartAgg: return MakePartitionAndAggregateBaseline(kTestL3);
+    case Kind::kPlat: return MakePlatBaseline(kTestL3);
+  }
+  return nullptr;
+}
+
+const char* KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kAtomic: return "Atomic";
+    case Kind::kIndependent: return "Independent";
+    case Kind::kHybrid: return "Hybrid";
+    case Kind::kPartAgg: return "PartitionAndAggregate";
+    case Kind::kPlat: return "Plat";
+  }
+  return "?";
+}
+
+using Param = std::tuple<Kind, Distribution, uint64_t /*k*/, int /*threads*/>;
+
+class BaselineSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(BaselineSweep, CountsMatchReference) {
+  auto [kind, dist, k, threads] = GetParam();
+  GenParams gp;
+  gp.n = 50000;
+  gp.k = k;
+  gp.dist = dist;
+  gp.seed = 42;
+  std::vector<uint64_t> keys = GenerateKeys(gp);
+
+  std::map<uint64_t, uint64_t> expect;
+  for (uint64_t key : keys) ++expect[key];
+
+  TaskScheduler pool(threads);
+  auto baseline = Make(kind);
+  GroupCounts got = baseline->Run(keys.data(), keys.size(), expect.size(),
+                                  pool);
+
+  std::map<uint64_t, uint64_t> got_map;
+  for (size_t i = 0; i < got.keys.size(); ++i) {
+    EXPECT_EQ(got_map.count(got.keys[i]), 0u)
+        << "duplicate key " << got.keys[i];
+    got_map[got.keys[i]] = got.counts[i];
+  }
+  EXPECT_EQ(got_map, expect);
+}
+
+std::string BaselineParamName(const ::testing::TestParamInfo<Param>& info) {
+  auto [kind, dist, k, threads] = info.param;
+  std::string name = KindName(kind);
+  name += "_";
+  name += DistributionName(dist);
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  name += "_k" + std::to_string(k) + "_t" + std::to_string(threads);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Baselines, BaselineSweep,
+    ::testing::Combine(
+        ::testing::Values(Kind::kAtomic, Kind::kIndependent, Kind::kHybrid,
+                          Kind::kPartAgg, Kind::kPlat),
+        ::testing::Values(Distribution::kUniform, Distribution::kHeavyHitter,
+                          Distribution::kMovingCluster),
+        ::testing::Values(uint64_t{1}, uint64_t{100}, uint64_t{20000}),
+        ::testing::Values(1, 4)),
+    BaselineParamName);
+
+TEST(Baselines, NamesAreStable) {
+  EXPECT_EQ(Make(Kind::kAtomic)->Name(), "Atomic");
+  EXPECT_EQ(Make(Kind::kIndependent)->Name(), "Independent");
+  EXPECT_EQ(Make(Kind::kHybrid)->Name(), "Hybrid");
+  EXPECT_EQ(Make(Kind::kPartAgg)->Name(), "Partition&Aggregate");
+  EXPECT_EQ(Make(Kind::kPlat)->Name(), "PLAT");
+}
+
+TEST(Baselines, EmptyInput) {
+  TaskScheduler pool(2);
+  for (Kind kind : {Kind::kAtomic, Kind::kIndependent, Kind::kHybrid,
+                    Kind::kPartAgg, Kind::kPlat}) {
+    auto baseline = Make(kind);
+    GroupCounts got = baseline->Run(nullptr, 0, 0, pool);
+    EXPECT_EQ(got.num_groups(), 0u) << KindName(kind);
+  }
+}
+
+TEST(AtomicTable, ConcurrentInsertsAreExact) {
+  AtomicCountTable table(1 << 16);
+  TaskScheduler pool(4);
+  const size_t per_task = 10000;
+  pool.ParallelFor(8, [&](int, size_t t) {
+    for (size_t i = 0; i < per_task; ++i) {
+      table.Add(1 + (i % 97), 1);
+    }
+  });
+  GroupCounts out = table.Extract();
+  EXPECT_EQ(out.num_groups(), 97u);
+  uint64_t total = std::accumulate(out.counts.begin(), out.counts.end(),
+                                   uint64_t{0});
+  EXPECT_EQ(total, 8 * per_task);
+}
+
+TEST(AtomicTable, AddWithWeights) {
+  AtomicCountTable table(1 << 10);
+  table.Add(5, 10);
+  table.Add(5, 32);
+  GroupCounts out = table.Extract();
+  ASSERT_EQ(out.num_groups(), 1u);
+  EXPECT_EQ(out.keys[0], 5u);
+  EXPECT_EQ(out.counts[0], 42u);
+}
+
+TEST(BaselineTableCapacity, RespectsL3Floor) {
+  EXPECT_GE(BaselineTableCapacity(1, kTestL3), kTestL3 / 16);
+  EXPECT_GE(BaselineTableCapacity(1 << 20, kTestL3), size_t{2} << 20);
+  EXPECT_TRUE(IsPowerOfTwo(BaselineTableCapacity(12345, kTestL3)));
+}
+
+}  // namespace
+}  // namespace cea

@@ -1,0 +1,109 @@
+// Tests of the MonetDB-style column-at-a-time baseline (Section 3.3).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "cea/baselines/reference.h"
+#include "cea/columnar/column_at_a_time.h"
+#include "cea/common/random.h"
+#include "cea/datagen/generators.h"
+
+namespace cea {
+namespace {
+
+TEST(GroupIdPass, AssignsDenseStableIds) {
+  std::vector<uint64_t> keys = {5, 7, 5, 9, 7, 5};
+  GroupIdResult r = GroupIdPass(keys.data(), keys.size(), 0);
+  EXPECT_EQ(r.group_keys, (std::vector<uint64_t>{5, 7, 9}));
+  EXPECT_EQ(r.mapping, (std::vector<uint32_t>{0, 1, 0, 2, 1, 0}));
+}
+
+TEST(GroupIdPass, EmptyInput) {
+  GroupIdResult r = GroupIdPass(nullptr, 0, 0);
+  EXPECT_TRUE(r.group_keys.empty());
+  EXPECT_TRUE(r.mapping.empty());
+}
+
+TEST(GroupIdPass, IdsCoverAllGroups) {
+  GenParams gp;
+  gp.n = 50000;
+  gp.k = 1234;
+  std::vector<uint64_t> keys = GenerateKeys(gp);
+  GroupIdResult r = GroupIdPass(keys.data(), keys.size(), gp.k);
+  std::set<uint64_t> distinct(keys.begin(), keys.end());
+  EXPECT_EQ(r.group_keys.size(), distinct.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_LT(r.mapping[i], r.group_keys.size());
+    ASSERT_EQ(r.group_keys[r.mapping[i]], keys[i]);
+  }
+}
+
+class ColumnAtATimeFns : public ::testing::TestWithParam<AggFn> {};
+
+TEST_P(ColumnAtATimeFns, MatchesReference) {
+  AggFn fn = GetParam();
+  GenParams gp;
+  gp.n = 40000;
+  gp.k = 500;
+  gp.dist = Distribution::kZipf;
+  std::vector<uint64_t> keys = GenerateKeys(gp);
+  std::vector<uint64_t> values = GenerateValues(gp.n, 4);
+
+  InputTable input;
+  input.keys = keys.data();
+  input.values = {values.data()};
+  input.num_rows = gp.n;
+
+  std::vector<AggregateSpec> specs = {{fn, NeedsInput(fn) ? 0 : -1}};
+  ResultTable got = ColumnAtATimeAggregate(input, specs, gp.k);
+  ResultTable expect = ReferenceAggregate(input, specs);
+  SortResultByKey(&got);
+
+  ASSERT_EQ(got.keys, expect.keys);
+  if (fn == AggFn::kAvg) {
+    ASSERT_EQ(got.aggregates[0].f64.size(), expect.aggregates[0].f64.size());
+    for (size_t i = 0; i < expect.aggregates[0].f64.size(); ++i) {
+      ASSERT_DOUBLE_EQ(got.aggregates[0].f64[i],
+                       expect.aggregates[0].f64[i]);
+    }
+  } else {
+    ASSERT_EQ(got.aggregates[0].u64, expect.aggregates[0].u64);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Functions, ColumnAtATimeFns,
+                         ::testing::Values(AggFn::kCount, AggFn::kSum,
+                                           AggFn::kMin, AggFn::kMax,
+                                           AggFn::kAvg),
+                         [](const ::testing::TestParamInfo<AggFn>& info) {
+                           return AggFnName(info.param);
+                         });
+
+TEST(ColumnAtATime, MultipleColumns) {
+  GenParams gp;
+  gp.n = 20000;
+  gp.k = 300;
+  std::vector<uint64_t> keys = GenerateKeys(gp);
+  std::vector<uint64_t> v0 = GenerateValues(gp.n, 1);
+  std::vector<uint64_t> v1 = GenerateValues(gp.n, 2);
+
+  InputTable input;
+  input.keys = keys.data();
+  input.values = {v0.data(), v1.data()};
+  input.num_rows = gp.n;
+
+  std::vector<AggregateSpec> specs = {
+      {AggFn::kSum, 0}, {AggFn::kMin, 1}, {AggFn::kCount, -1}};
+  ResultTable got = ColumnAtATimeAggregate(input, specs, gp.k);
+  ResultTable expect = ReferenceAggregate(input, specs);
+  SortResultByKey(&got);
+  ASSERT_EQ(got.keys, expect.keys);
+  for (size_t s = 0; s < specs.size(); ++s) {
+    ASSERT_EQ(got.aggregates[s].u64, expect.aggregates[s].u64) << s;
+  }
+}
+
+}  // namespace
+}  // namespace cea

@@ -1,0 +1,185 @@
+// Tests of composite (multi-column) grouping keys.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "cea/common/random.h"
+#include "cea/datagen/generators.h"
+#include "cea/hash/key_hash.h"
+#include "test_util.h"
+
+namespace cea {
+namespace {
+
+TEST(KeyHash, SingleWordMatchesMurmur) {
+  uint64_t k = 0x1234;
+  EXPECT_EQ(HashKey(&k, 1), MurmurHash64(k));
+}
+
+TEST(KeyHash, OrderSensitive) {
+  uint64_t ab[2] = {1, 2};
+  uint64_t ba[2] = {2, 1};
+  EXPECT_NE(HashKey(ab, 2), HashKey(ba, 2));
+}
+
+TEST(KeyHash, WidthSensitive) {
+  uint64_t key[3] = {1, 0, 0};
+  EXPECT_NE(HashKey(key, 1), HashKey(key, 2));
+  EXPECT_NE(HashKey(key, 2), HashKey(key, 3));
+}
+
+TEST(KeyHash, EqualsComparesAllWords) {
+  uint64_t a[3] = {1, 2, 3};
+  uint64_t b[3] = {1, 2, 4};
+  EXPECT_TRUE(KeyEquals(a, a, 3));
+  EXPECT_FALSE(KeyEquals(a, b, 3));
+  EXPECT_TRUE(KeyEquals(a, b, 2));  // first two words agree
+}
+
+class CompositeKeySweep
+    : public ::testing::TestWithParam<std::tuple<int /*key cols*/,
+                                                 int /*threads*/>> {};
+
+TEST_P(CompositeKeySweep, MatchesReference) {
+  auto [key_cols, threads] = GetParam();
+  const size_t n = 40000;
+
+  // Key columns with small domains so combinations repeat; the composite
+  // cardinality is the product of the domains.
+  std::vector<Column> keys(key_cols);
+  Rng rng(99);
+  for (int c = 0; c < key_cols; ++c) {
+    keys[c].resize(n);
+    for (auto& v : keys[c]) v = rng.NextBounded(c == 0 ? 50 : 8);
+  }
+  Column values = GenerateValues(n, 5);
+
+  InputTable input;
+  input.keys = keys[0].data();
+  for (int c = 1; c < key_cols; ++c) {
+    input.extra_keys.push_back(keys[c].data());
+  }
+  input.values = {values.data()};
+  input.num_rows = n;
+
+  ExpectMatchesReference({{AggFn::kSum, 0}, {AggFn::kCount, -1}}, input,
+                         TinyCacheOptions(threads));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, CompositeKeySweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(1, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "kc" + std::to_string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(CompositeKey, DistinguishesSharedFirstColumn) {
+  // All rows share key column 0; grouping must come entirely from the
+  // second column.
+  const size_t n = 10000;
+  Column k0(n, 7);
+  Column k1(n);
+  for (size_t i = 0; i < n; ++i) k1[i] = i % 13;
+
+  InputTable input = InputTable::FromKeyColumns({&k0, &k1}, {});
+  ExpectMatchesReference({{AggFn::kCount, -1}}, input, TinyCacheOptions(2));
+}
+
+TEST(CompositeKey, SwappedColumnsAreDifferentGroups) {
+  // (1,2) and (2,1) are distinct groups.
+  Column k0 = {1, 2, 1, 2};
+  Column k1 = {2, 1, 2, 1};
+  InputTable input = InputTable::FromKeyColumns({&k0, &k1}, {});
+
+  AggregationOperator op({{AggFn::kCount, -1}}, TinyCacheOptions());
+  ResultTable result;
+  ASSERT_TRUE(op.Execute(input, &result).ok());
+  EXPECT_EQ(result.num_groups(), 2u);
+  ASSERT_EQ(result.extra_keys.size(), 1u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_NE(result.keys[i], result.extra_keys[0][i]);
+    EXPECT_EQ(result.aggregates[0].u64[i], 2u);
+  }
+}
+
+TEST(CompositeKey, HighCardinalityCompositeForcesRecursion) {
+  // Two 300-value columns: up to 90000 composite groups from 40000 rows —
+  // nearly all distinct under a tiny cache, forcing deep recursion.
+  const size_t n = 40000;
+  Column k0(n), k1(n);
+  Rng rng(1);
+  for (size_t i = 0; i < n; ++i) {
+    k0[i] = rng.NextBounded(300);
+    k1[i] = rng.NextBounded(300);
+  }
+  InputTable input = InputTable::FromKeyColumns({&k0, &k1}, {});
+  ExecStats stats;
+  ExpectMatchesReference({{AggFn::kCount, -1}}, input,
+                         TinyCacheOptions(2, /*table_bytes=*/1 << 15),
+                         &stats);
+  EXPECT_GE(stats.max_level, 1);
+}
+
+TEST(CompositeKey, OperatorReusableAcrossKeyWidths) {
+  AggregationOperator op({{AggFn::kCount, -1}}, TinyCacheOptions());
+  Column k0 = {1, 1, 2};
+  Column k1 = {5, 6, 5};
+
+  // Width 1.
+  ResultTable r1;
+  ASSERT_TRUE(op.Execute(InputTable::FromKeyColumns({&k0}, {}), &r1).ok());
+  EXPECT_EQ(r1.num_groups(), 2u);
+
+  // Width 2 with the same operator instance.
+  ResultTable r2;
+  ASSERT_TRUE(
+      op.Execute(InputTable::FromKeyColumns({&k0, &k1}, {}), &r2).ok());
+  EXPECT_EQ(r2.num_groups(), 3u);
+
+  // Back to width 1.
+  ResultTable r3;
+  ASSERT_TRUE(op.Execute(InputTable::FromKeyColumns({&k0}, {}), &r3).ok());
+  EXPECT_EQ(r3.num_groups(), 2u);
+}
+
+TEST(CompositeKey, TooManyKeyColumnsRejected) {
+  AggregationOperator op({}, TinyCacheOptions());
+  std::vector<Column> cols(kMaxKeyWords + 1, Column{1, 2, 3});
+  InputTable input;
+  input.keys = cols[0].data();
+  for (int c = 1; c <= kMaxKeyWords; ++c) {
+    input.extra_keys.push_back(cols[c].data());
+  }
+  input.num_rows = 3;
+  ResultTable result;
+  EXPECT_FALSE(op.Execute(input, &result).ok());
+}
+
+TEST(CompositeKey, AllPoliciesAgree) {
+  const size_t n = 30000;
+  Column k0(n), k1(n);
+  Rng rng(3);
+  for (size_t i = 0; i < n; ++i) {
+    k0[i] = rng.NextBounded(100);
+    k1[i] = rng.NextBounded(100);
+  }
+  Column values = GenerateValues(n, 9);
+  InputTable input = InputTable::FromKeyColumns({&k0, &k1}, {&values});
+
+  for (auto policy : {AggregationOptions::PolicyKind::kAdaptive,
+                      AggregationOptions::PolicyKind::kHashingOnly,
+                      AggregationOptions::PolicyKind::kPartitionAlways}) {
+    AggregationOptions options = TinyCacheOptions(2);
+    options.policy = policy;
+    ExpectMatchesReference({{AggFn::kMax, 0}, {AggFn::kAvg, 0}}, input,
+                           options);
+  }
+}
+
+}  // namespace
+}  // namespace cea

@@ -1,0 +1,119 @@
+// Tests of the Section 2 external-memory cost model, including the
+// paper's central identity: optimized hashing == optimized sorting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cea/model/cost_model.h"
+
+namespace cea {
+namespace {
+
+// Figure 1 parameters: N = 2^32, M = 2^16, B = 16.
+ModelParams Fig1Params() {
+  return ModelParams{std::pow(2.0, 32), std::pow(2.0, 16), 16.0};
+}
+
+TEST(CostModel, HashingIsSorting) {
+  // The paper's headline: the optimized variants have identical cost for
+  // every K.
+  ModelParams p = Fig1Params();
+  for (int logk = 0; logk <= 32; ++logk) {
+    double k = std::pow(2.0, logk);
+    EXPECT_DOUBLE_EQ(HashAggOpt(p, k), SortAggOpt(p, k)) << "K=2^" << logk;
+  }
+}
+
+TEST(CostModel, SmallKNeedsSinglePass) {
+  // For K <= M the optimized algorithms read the input once and write the
+  // output once: N/B + K/B transfers, zero partitioning passes.
+  ModelParams p = Fig1Params();
+  for (double k : {1.0, 256.0, p.m}) {
+    EXPECT_EQ(OptimizedPasses(p, k), 0);
+    EXPECT_DOUBLE_EQ(SortAggOpt(p, k), p.n / p.b + k / p.b);
+  }
+}
+
+TEST(CostModel, PassCountGrowsLogarithmically) {
+  ModelParams p = Fig1Params();
+  // Fan-out per pass is M/B = 2^12; K/M shrinks by that factor per pass.
+  EXPECT_EQ(OptimizedPasses(p, p.m * 2), 1);
+  EXPECT_EQ(OptimizedPasses(p, p.m * (p.m / p.b)), 1);
+  EXPECT_EQ(OptimizedPasses(p, p.m * (p.m / p.b) * 2), 2);
+}
+
+TEST(CostModel, NaiveHashExplodesBeyondCache) {
+  ModelParams p = Fig1Params();
+  double at_cache = HashAgg(p, p.m);
+  double beyond = HashAgg(p, p.m * 16);
+  // One additional cache miss per row dominates: ~2N extra transfers.
+  EXPECT_GT(beyond, at_cache + 1.5 * p.n);
+  EXPECT_DOUBLE_EQ(HashAgg(p, p.m), p.n / p.b + p.m / p.b);
+}
+
+TEST(CostModel, NaiveHashBeatsOrMatchesNothingBeyondCache) {
+  ModelParams p = Fig1Params();
+  for (int logk = 17; logk <= 32; ++logk) {
+    double k = std::pow(2.0, logk);
+    EXPECT_GT(HashAgg(p, k), HashAggOpt(p, k)) << "K=2^" << logk;
+  }
+}
+
+TEST(CostModel, MultisetRefinementNeverWorse) {
+  ModelParams p = Fig1Params();
+  for (int logk = 0; logk <= 32; ++logk) {
+    double k = std::pow(2.0, logk);
+    EXPECT_LE(SortAgg(p, k), SortAggStatic(p, k)) << "K=2^" << logk;
+  }
+}
+
+TEST(CostModel, OptimizedNeverWorseThanNaiveSort) {
+  ModelParams p = Fig1Params();
+  for (int logk = 0; logk <= 32; ++logk) {
+    double k = std::pow(2.0, logk);
+    EXPECT_LE(SortAggOpt(p, k), SortAgg(p, k)) << "K=2^" << logk;
+  }
+}
+
+TEST(CostModel, MonotoneInK) {
+  ModelParams p = Fig1Params();
+  double prev_opt = 0, prev_hash = 0;
+  for (int logk = 0; logk <= 32; ++logk) {
+    double k = std::pow(2.0, logk);
+    double opt = SortAggOpt(p, k);
+    double hash = HashAgg(p, k);
+    EXPECT_GE(opt, prev_opt);
+    EXPECT_GE(hash, prev_hash);
+    prev_opt = opt;
+    prev_hash = hash;
+  }
+}
+
+TEST(CostModel, StaticSortIndependentOfKExceptOutput) {
+  ModelParams p = Fig1Params();
+  double base = SortAggStatic(p, 1.0);
+  double large = SortAggStatic(p, p.n);
+  // Only the K/B output term differs.
+  EXPECT_DOUBLE_EQ(large - base, (p.n - 1.0) / p.b);
+}
+
+TEST(CostModel, PaperScaleSanity) {
+  // In the Figure 1 setting the optimized algorithms never need more than
+  // two partitioning passes even at K = N.
+  ModelParams p = Fig1Params();
+  EXPECT_LE(OptimizedPasses(p, p.n), 2);
+}
+
+TEST(CostModel, CacheSettingVsDiskSetting) {
+  // The analysis holds for any M, B; verify the identity in a disk-like
+  // configuration too (large B, large M).
+  ModelParams disk{1e12, 1e9, 1e5};
+  for (double k : {1.0, 1e3, 1e6, 1e9, 1e12}) {
+    EXPECT_DOUBLE_EQ(HashAggOpt(disk, k), SortAggOpt(disk, k));
+  }
+}
+
+}  // namespace
+}  // namespace cea

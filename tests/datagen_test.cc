@@ -1,0 +1,234 @@
+// Tests of the synthetic data generators (Section 6.5 distributions).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cea/common/random.h"
+#include "cea/datagen/generators.h"
+
+namespace cea {
+namespace {
+
+class AllDistributionsTest : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(AllDistributionsTest, ProducesExactlyNRowsInRange) {
+  GenParams p;
+  p.n = 50000;
+  p.k = 512;
+  p.dist = GetParam();
+  std::vector<uint64_t> keys = GenerateKeys(p);
+  ASSERT_EQ(keys.size(), p.n);
+  for (uint64_t k : keys) {
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, p.k);
+  }
+}
+
+TEST_P(AllDistributionsTest, AtMostKDistinct) {
+  GenParams p;
+  p.n = 20000;
+  p.k = 64;
+  p.dist = GetParam();
+  std::vector<uint64_t> keys = GenerateKeys(p);
+  std::set<uint64_t> distinct(keys.begin(), keys.end());
+  EXPECT_LE(distinct.size(), p.k);
+  EXPECT_GE(distinct.size(), 1u);
+}
+
+TEST_P(AllDistributionsTest, DeterministicForSeed) {
+  GenParams p;
+  p.n = 5000;
+  p.k = 100;
+  p.dist = GetParam();
+  p.seed = 77;
+  EXPECT_EQ(GenerateKeys(p), GenerateKeys(p));
+  GenParams q = p;
+  q.seed = 78;
+  if (p.dist != Distribution::kSequential) {
+    EXPECT_NE(GenerateKeys(p), GenerateKeys(q));
+  }
+}
+
+TEST_P(AllDistributionsTest, SingleGroupDegenerates) {
+  GenParams p;
+  p.n = 1000;
+  p.k = 1;
+  p.dist = GetParam();
+  std::vector<uint64_t> keys = GenerateKeys(p);
+  for (uint64_t k : keys) ASSERT_EQ(k, 1u);
+}
+
+TEST_P(AllDistributionsTest, NameRoundTrips) {
+  Distribution d = GetParam();
+  Distribution parsed;
+  ASSERT_TRUE(ParseDistribution(DistributionName(d), &parsed));
+  EXPECT_EQ(parsed, d);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Generators, AllDistributionsTest,
+    ::testing::ValuesIn(AllDistributions()),
+    [](const ::testing::TestParamInfo<Distribution>& info) {
+      std::string name = DistributionName(info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(Uniform, CoversKeyDomain) {
+  GenParams p;
+  p.n = 100000;
+  p.k = 128;
+  std::vector<uint64_t> keys = GenerateKeys(p);
+  std::set<uint64_t> distinct(keys.begin(), keys.end());
+  EXPECT_EQ(distinct.size(), p.k);  // ~780 draws/key: all appear whp
+}
+
+TEST(Uniform, RoughlyBalanced) {
+  GenParams p;
+  p.n = 100000;
+  p.k = 10;
+  std::map<uint64_t, size_t> freq;
+  for (uint64_t k : GenerateKeys(p)) ++freq[k];
+  for (auto& [key, count] : freq) {
+    EXPECT_NEAR(static_cast<double>(count), 10000.0, 600.0);
+  }
+}
+
+TEST(Sequential, ExactRoundRobin) {
+  GenParams p;
+  p.n = 10;
+  p.k = 3;
+  p.dist = Distribution::kSequential;
+  EXPECT_EQ(GenerateKeys(p),
+            (std::vector<uint64_t>{1, 2, 3, 1, 2, 3, 1, 2, 3, 1}));
+}
+
+TEST(Sorted, IsSortedAndUniformlyDistributed) {
+  GenParams p;
+  p.n = 50000;
+  p.k = 1000;
+  p.dist = Distribution::kSorted;
+  std::vector<uint64_t> keys = GenerateKeys(p);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  std::set<uint64_t> distinct(keys.begin(), keys.end());
+  EXPECT_GT(distinct.size(), 900u);
+}
+
+TEST(HeavyHitter, HalfTheRowsShareKeyOne) {
+  GenParams p;
+  p.n = 100000;
+  p.k = 1000;
+  p.dist = Distribution::kHeavyHitter;
+  std::vector<uint64_t> keys = GenerateKeys(p);
+  size_t ones = std::count(keys.begin(), keys.end(), uint64_t{1});
+  EXPECT_NEAR(static_cast<double>(ones), 50000.0, 1500.0);
+}
+
+TEST(HeavyHitter, FractionIsParameterized) {
+  GenParams p;
+  p.n = 100000;
+  p.k = 1000;
+  p.dist = Distribution::kHeavyHitter;
+  p.hh_fraction = 0.9;
+  std::vector<uint64_t> keys = GenerateKeys(p);
+  size_t ones = std::count(keys.begin(), keys.end(), uint64_t{1});
+  EXPECT_NEAR(static_cast<double>(ones), 90000.0, 1500.0);
+}
+
+TEST(MovingCluster, KeysStayInSlidingWindow) {
+  GenParams p;
+  p.n = 100000;
+  p.k = 1 << 16;
+  p.dist = Distribution::kMovingCluster;
+  p.cluster_window = 1024;
+  std::vector<uint64_t> keys = GenerateKeys(p);
+  uint64_t span = p.k - p.cluster_window;
+  for (uint64_t i = 0; i < p.n; ++i) {
+    uint64_t start = 1 + span * i / (p.n - 1);
+    ASSERT_GE(keys[i], start);
+    ASSERT_LT(keys[i], start + p.cluster_window + 1);
+  }
+}
+
+TEST(MovingCluster, EventuallyCoversDomainEnds) {
+  GenParams p;
+  p.n = 200000;
+  p.k = 1 << 14;
+  p.dist = Distribution::kMovingCluster;
+  std::vector<uint64_t> keys = GenerateKeys(p);
+  EXPECT_LT(*std::min_element(keys.begin(), keys.end()), uint64_t{64});
+  EXPECT_GT(*std::max_element(keys.begin(), keys.end()), p.k - 64);
+}
+
+TEST(SelfSimilar, Follows8020Rule) {
+  GenParams p;
+  p.n = 200000;
+  p.k = 10000;
+  p.dist = Distribution::kSelfSimilar;
+  p.self_similar_h = 0.2;
+  std::vector<uint64_t> keys = GenerateKeys(p);
+  size_t in_first_fifth =
+      std::count_if(keys.begin(), keys.end(),
+                    [&](uint64_t k) { return k <= p.k / 5; });
+  EXPECT_NEAR(static_cast<double>(in_first_fifth) / p.n, 0.8, 0.02);
+}
+
+TEST(Zipf, RankOneIsMostFrequent) {
+  GenParams p;
+  p.n = 200000;
+  p.k = 1000;
+  p.dist = Distribution::kZipf;
+  p.zipf_s = 0.5;
+  std::map<uint64_t, size_t> freq;
+  for (uint64_t k : GenerateKeys(p)) ++freq[k];
+  size_t f1 = freq[1];
+  for (auto& [key, count] : freq) {
+    EXPECT_LE(count, f1 + 120) << "key " << key;  // allow sampling noise
+  }
+}
+
+TEST(Zipf, FrequencyRatioMatchesExponent) {
+  // zipf(s): f(1)/f(4) should be ~4^s = 2 for s = 0.5.
+  GenParams p;
+  p.n = 500000;
+  p.k = 100;
+  p.dist = Distribution::kZipf;
+  p.zipf_s = 0.5;
+  std::map<uint64_t, size_t> freq;
+  for (uint64_t k : GenerateKeys(p)) ++freq[k];
+  double ratio = static_cast<double>(freq[1]) / static_cast<double>(freq[4]);
+  EXPECT_NEAR(ratio, 2.0, 0.25);
+}
+
+TEST(Zipf, SteeperExponentConcentratesMore) {
+  GenParams mild, steep;
+  mild.n = steep.n = 100000;
+  mild.k = steep.k = 1000;
+  mild.dist = steep.dist = Distribution::kZipf;
+  mild.zipf_s = 0.5;
+  steep.zipf_s = 1.5;
+  auto count_ones = [](const std::vector<uint64_t>& keys) {
+    return std::count(keys.begin(), keys.end(), uint64_t{1});
+  };
+  EXPECT_GT(count_ones(GenerateKeys(steep)), count_ones(GenerateKeys(mild)));
+}
+
+TEST(Values, BoundedForOverflowFreeSums) {
+  std::vector<uint64_t> v = GenerateValues(10000, 3);
+  ASSERT_EQ(v.size(), 10000u);
+  for (uint64_t x : v) ASSERT_LT(x, uint64_t{1} << 20);
+}
+
+TEST(ParseDistribution, RejectsUnknownNames) {
+  Distribution d;
+  EXPECT_FALSE(ParseDistribution("gaussian", &d));
+  EXPECT_FALSE(ParseDistribution("", &d));
+}
+
+}  // namespace
+}  // namespace cea

@@ -1,0 +1,101 @@
+// Randomized end-to-end tests: for a sequence of seeds, draw a random
+// configuration (input size, key distribution, key width, aggregate list,
+// thread count, table size, policy, adaptive constants) and check the
+// operator against the scalar reference. Complements the structured
+// sweeps with configuration combinations nobody thought to write down.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cea/common/random.h"
+#include "cea/datagen/generators.h"
+#include "test_util.h"
+
+namespace cea {
+namespace {
+
+class OperatorFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OperatorFuzz, RandomConfigMatchesReference) {
+  Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 1);
+
+  // Input shape.
+  const size_t n = 1 + rng.NextBounded(60000);
+  const int key_cols = 1 + static_cast<int>(rng.NextBounded(3));
+  GenParams gp;
+  gp.n = n;
+  gp.k = 1 + rng.NextBounded(n);
+  auto dists = AllDistributions();
+  gp.dist = dists[rng.NextBounded(dists.size())];
+  gp.seed = rng.Next();
+
+  std::vector<Column> keys(key_cols);
+  keys[0] = GenerateKeys(gp);
+  for (int c = 1; c < key_cols; ++c) {
+    keys[c].resize(n);
+    // Low-cardinality secondary columns so composites repeat.
+    for (auto& v : keys[c]) v = rng.NextBounded(1 + rng.NextBounded(16));
+  }
+
+  // Aggregates: 0..4 random functions over 0..2 value columns.
+  const int num_values = 1 + static_cast<int>(rng.NextBounded(2));
+  std::vector<Column> values(num_values);
+  for (auto& col : values) col = GenerateValues(n, rng.Next());
+  const AggFn fns[] = {AggFn::kCount, AggFn::kSum, AggFn::kMin, AggFn::kMax,
+                       AggFn::kAvg};
+  std::vector<AggregateSpec> specs;
+  const int num_specs = static_cast<int>(rng.NextBounded(5));
+  for (int s = 0; s < num_specs; ++s) {
+    AggFn fn = fns[rng.NextBounded(5)];
+    specs.push_back(
+        {fn, NeedsInput(fn) ? static_cast<int>(rng.NextBounded(num_values))
+                            : -1});
+  }
+
+  // Operator configuration.
+  AggregationOptions options;
+  options.num_threads = 1 + static_cast<int>(rng.NextBounded(6));
+  options.table_bytes = size_t{1} << (13 + rng.NextBounded(8));  // 8K..1M
+  options.morsel_rows = size_t{1} << (10 + rng.NextBounded(7));
+  switch (rng.NextBounded(3)) {
+    case 0:
+      options.policy = AggregationOptions::PolicyKind::kAdaptive;
+      options.alpha0 = 1.0 + rng.NextDouble() * 30.0;
+      options.c = rng.NextBounded(30);
+      break;
+    case 1:
+      options.policy = AggregationOptions::PolicyKind::kHashingOnly;
+      break;
+    default:
+      options.policy = AggregationOptions::PolicyKind::kPartitionAlways;
+      options.partition_passes = 1 + static_cast<int>(rng.NextBounded(3));
+      break;
+  }
+  if (rng.NextBounded(2) == 0) options.k_hint = gp.k;
+
+  InputTable input;
+  input.keys = keys[0].data();
+  for (int c = 1; c < key_cols; ++c) {
+    input.extra_keys.push_back(keys[c].data());
+  }
+  for (const Column& col : values) input.values.push_back(col.data());
+  input.num_rows = n;
+
+  SCOPED_TRACE("seed=" + std::to_string(GetParam()) +
+               " n=" + std::to_string(n) + " k=" + std::to_string(gp.k) +
+               " dist=" + DistributionName(gp.dist) +
+               " key_cols=" + std::to_string(key_cols) +
+               " specs=" + std::to_string(specs.size()) +
+               " threads=" + std::to_string(options.num_threads));
+  ExpectMatchesReference(specs, input, options);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OperatorFuzz, ::testing::Range<uint64_t>(0, 32),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace cea

@@ -1,0 +1,158 @@
+// Tests of the fused pipeline wrapper (Section 3.3, JIT model).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "cea/baselines/reference.h"
+#include "cea/common/random.h"
+#include "cea/datagen/generators.h"
+#include "cea/pipeline/pipeline.h"
+#include "test_util.h"
+
+namespace cea {
+namespace {
+
+TEST(Pipeline, NoFilterEqualsPlainAggregation) {
+  GenParams gp;
+  gp.n = 30000;
+  gp.k = 777;
+  std::vector<uint64_t> keys = GenerateKeys(gp);
+  std::vector<uint64_t> values = GenerateValues(gp.n, 1);
+
+  InputTable input;
+  input.keys = keys.data();
+  input.values = {values.data()};
+  input.num_rows = gp.n;
+
+  std::vector<AggregateSpec> specs = {{AggFn::kSum, 0}};
+  ResultTable got;
+  Status s = From(input).GroupBy(specs, TinyCacheOptions(2), &got);
+  ASSERT_TRUE(s.ok()) << s.message();
+
+  ResultTable expect = ReferenceAggregate(input, specs);
+  SortResultByKey(&got);
+  EXPECT_EQ(got.keys, expect.keys);
+  EXPECT_EQ(got.aggregates[0].u64, expect.aggregates[0].u64);
+}
+
+TEST(Pipeline, FilterMatchesManualPrefilter) {
+  GenParams gp;
+  gp.n = 40000;
+  gp.k = 1000;
+  std::vector<uint64_t> keys = GenerateKeys(gp);
+  std::vector<uint64_t> values = GenerateValues(gp.n, 2);
+
+  InputTable input;
+  input.keys = keys.data();
+  input.values = {values.data()};
+  input.num_rows = gp.n;
+
+  std::vector<AggregateSpec> specs = {{AggFn::kSum, 0}, {AggFn::kCount, -1}};
+  ResultTable got;
+  Status s = From(input)
+                 .Filter([](RowView r) { return r.value(0) % 3 == 0; })
+                 .GroupBy(specs, TinyCacheOptions(2), &got);
+  ASSERT_TRUE(s.ok());
+
+  // Manual pre-filter + reference.
+  std::vector<uint64_t> fk, fv;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (values[i] % 3 == 0) {
+      fk.push_back(keys[i]);
+      fv.push_back(values[i]);
+    }
+  }
+  InputTable filtered;
+  filtered.keys = fk.data();
+  filtered.values = {fv.data()};
+  filtered.num_rows = fk.size();
+  ResultTable expect = ReferenceAggregate(filtered, specs);
+
+  SortResultByKey(&got);
+  EXPECT_EQ(got.keys, expect.keys);
+  EXPECT_EQ(got.aggregates[0].u64, expect.aggregates[0].u64);
+  EXPECT_EQ(got.aggregates[1].u64, expect.aggregates[1].u64);
+}
+
+TEST(Pipeline, MultipleFusedFilters) {
+  GenParams gp;
+  gp.n = 30000;
+  gp.k = 500;
+  std::vector<uint64_t> keys = GenerateKeys(gp);
+  std::vector<uint64_t> values = GenerateValues(gp.n, 3);
+
+  InputTable input;
+  input.keys = keys.data();
+  input.values = {values.data()};
+  input.num_rows = gp.n;
+
+  ResultTable got;
+  Status s = From(input)
+                 .Filter([](RowView r) { return r.key(0) % 2 == 0; })
+                 .Filter([](RowView r) { return r.value(0) > 1000; })
+                 .Filter([](RowView r) { return r.key(0) != 42; })
+                 .GroupBy({{AggFn::kCount, -1}}, TinyCacheOptions(), &got);
+  ASSERT_TRUE(s.ok());
+
+  std::map<uint64_t, uint64_t> expect;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] % 2 == 0 && values[i] > 1000 && keys[i] != 42) {
+      ++expect[keys[i]];
+    }
+  }
+  SortResultByKey(&got);
+  ASSERT_EQ(got.num_groups(), expect.size());
+  size_t i = 0;
+  for (auto& [key, count] : expect) {
+    EXPECT_EQ(got.keys[i], key);
+    EXPECT_EQ(got.aggregates[0].u64[i], count);
+    ++i;
+  }
+}
+
+TEST(Pipeline, FilterThatDropsEverything) {
+  Column keys = {1, 2, 3};
+  InputTable input;
+  input.keys = keys.data();
+  input.num_rows = keys.size();
+  ResultTable got;
+  Status s = From(input)
+                 .Filter([](RowView) { return false; })
+                 .GroupBy({}, TinyCacheOptions(), &got);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(got.num_groups(), 0u);
+}
+
+TEST(Pipeline, CompositeKeysThroughPipeline) {
+  const size_t n = 20000;
+  Column k0(n), k1(n), v(n);
+  Rng rng(5);
+  for (size_t i = 0; i < n; ++i) {
+    k0[i] = rng.NextBounded(30);
+    k1[i] = rng.NextBounded(30);
+    v[i] = rng.NextBounded(100);
+  }
+  InputTable input = InputTable::FromKeyColumns({&k0, &k1}, {&v});
+
+  ResultTable got;
+  Status s = From(input)
+                 .Filter([](RowView r) { return r.key(1) < 15; })
+                 .GroupBy({{AggFn::kSum, 0}}, TinyCacheOptions(2), &got);
+  ASSERT_TRUE(s.ok());
+
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> expect;
+  for (size_t i = 0; i < n; ++i) {
+    if (k1[i] < 15) expect[{k0[i], k1[i]}] += v[i];
+  }
+  ASSERT_EQ(got.num_groups(), expect.size());
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> got_map;
+  for (size_t i = 0; i < got.num_groups(); ++i) {
+    got_map[{got.keys[i], got.extra_keys[0][i]}] = got.aggregates[0].u64[i];
+  }
+  EXPECT_EQ(got_map, expect);
+}
+
+}  // namespace
+}  // namespace cea

@@ -1,0 +1,74 @@
+// Unit tests for the routine-selection policies.
+
+#include <gtest/gtest.h>
+
+#include "cea/core/policy.h"
+
+namespace cea {
+namespace {
+
+TEST(HashingOnly, AlwaysHashes) {
+  auto p = MakeHashingOnlyPolicy();
+  for (int level = 0; level < 8; ++level) {
+    EXPECT_EQ(p->InitialMode(level), Mode::kHash);
+    EXPECT_EQ(p->OnTableFull(1.0, level), Mode::kHash);
+    EXPECT_EQ(p->OnTableFull(100.0, level), Mode::kHash);
+  }
+  EXPECT_EQ(p->FinalGrowableLevel(), -1);
+  EXPECT_EQ(p->Name(), "HashingOnly");
+}
+
+TEST(PartitionAlways, PartitionsUntilFinalPass) {
+  auto p = MakePartitionAlwaysPolicy(3);
+  EXPECT_EQ(p->InitialMode(0), Mode::kPartition);
+  EXPECT_EQ(p->InitialMode(1), Mode::kPartition);
+  EXPECT_EQ(p->InitialMode(2), Mode::kHash);
+  EXPECT_EQ(p->FinalGrowableLevel(), 2);
+  EXPECT_EQ(p->Name(), "PartitionAlways(3)");
+}
+
+TEST(PartitionAlways, TwoPassVariant) {
+  auto p = MakePartitionAlwaysPolicy(2);
+  EXPECT_EQ(p->InitialMode(0), Mode::kPartition);
+  EXPECT_EQ(p->FinalGrowableLevel(), 1);
+}
+
+TEST(PartitionAlways, SinglePassDegeneratesToOneBigTable) {
+  auto p = MakePartitionAlwaysPolicy(1);
+  EXPECT_EQ(p->InitialMode(0), Mode::kHash);
+  EXPECT_EQ(p->FinalGrowableLevel(), 0);
+}
+
+TEST(PartitionAlways, QuotaNeverExpires) {
+  auto p = MakePartitionAlwaysPolicy(2);
+  EXPECT_EQ(p->PartitionQuota(1024), ~uint64_t{0});
+}
+
+TEST(Adaptive, ThresholdSeparatesRoutines) {
+  auto p = MakeAdaptivePolicy(11.0, 10);
+  EXPECT_EQ(p->InitialMode(0), Mode::kHash);
+  EXPECT_EQ(p->OnTableFull(1.0, 0), Mode::kPartition);
+  EXPECT_EQ(p->OnTableFull(10.9, 0), Mode::kPartition);
+  EXPECT_EQ(p->OnTableFull(11.0, 0), Mode::kHash);
+  EXPECT_EQ(p->OnTableFull(1000.0, 0), Mode::kHash);
+}
+
+TEST(Adaptive, QuotaScalesWithTableCapacity) {
+  auto p = MakeAdaptivePolicy(11.0, 10);
+  EXPECT_EQ(p->PartitionQuota(1000), 10000u);
+  EXPECT_EQ(p->PartitionQuota(131072), 1310720u);
+}
+
+TEST(Adaptive, ZeroCDegeneratesToHashingOnly) {
+  auto p = MakeAdaptivePolicy(11.0, 0);
+  EXPECT_EQ(p->PartitionQuota(1000), 0u);
+}
+
+TEST(Adaptive, CustomAlphaThreshold) {
+  auto p = MakeAdaptivePolicy(4.0, 10);
+  EXPECT_EQ(p->OnTableFull(3.9, 0), Mode::kPartition);
+  EXPECT_EQ(p->OnTableFull(4.0, 0), Mode::kHash);
+}
+
+}  // namespace
+}  // namespace cea

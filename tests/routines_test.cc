@@ -1,0 +1,314 @@
+// Unit tests for the HASHING/PARTITIONING routines and the PassContext
+// state machine, below the operator level.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "cea/common/random.h"
+#include "cea/core/policy.h"
+#include "cea/core/routines.h"
+#include "cea/hash/murmur.h"
+#include "cea/hash/radix.h"
+
+namespace cea {
+namespace {
+
+constexpr size_t kTableBytes = 1 << 16;  // tiny table: forces flushes
+
+Morsel RawMorsel(const std::vector<uint64_t>& keys,
+                 const std::vector<const uint64_t*>& cols) {
+  Morsel m;
+  m.key_cols = {keys.data()};
+  m.n = keys.size();
+  m.raw = true;
+  m.cols = cols;
+  return m;
+}
+
+// Collects {key -> count} from a Run with a single COUNT state word.
+std::map<uint64_t, uint64_t> CountsOfRun(const cea::Run& run) {
+  std::map<uint64_t, uint64_t> counts;
+  std::vector<uint64_t> keys = run.key_cols[0].ToVector();
+  std::vector<uint64_t> c = run.states[0].ToVector();
+  for (size_t i = 0; i < keys.size(); ++i) counts[keys[i]] += c[i];
+  return counts;
+}
+
+std::map<uint64_t, uint64_t> CountsOfRuns(std::array<Run, kFanOut>& runs) {
+  std::map<uint64_t, uint64_t> counts;
+  for (auto& run : runs) {
+    for (auto& [k, v] : CountsOfRun(run)) counts[k] += v;
+  }
+  return counts;
+}
+
+TEST(HashingRoutine, SmallInputFinalizesInOnePass) {
+  StateLayout layout({{AggFn::kCount, -1}});
+  auto policy = MakeHashingOnlyPolicy();
+  WorkerResources res(layout, 1 << 20, 1 << 16);
+  ExecStats stats;
+  PassContext ctx(layout, *policy, &res, 0, &stats);
+
+  std::vector<uint64_t> keys;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) keys.push_back(rng.NextBounded(100));
+  ctx.ProcessMorsel(RawMorsel(keys, {nullptr}));
+
+  cea::Run final_run(1, layout);
+  EXPECT_TRUE(ctx.Finalize(keys.size(), &final_run));
+  EXPECT_TRUE(final_run.distinct);
+  EXPECT_EQ(final_run.size(), 100u);
+
+  std::map<uint64_t, uint64_t> got = CountsOfRun(final_run);
+  std::map<uint64_t, uint64_t> expect;
+  for (uint64_t k : keys) ++expect[k];
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(stats.tables_flushed, 0u);
+  EXPECT_EQ(stats.final_hash_passes, 1u);
+  EXPECT_EQ(stats.rows_hashed, keys.size());
+}
+
+TEST(HashingRoutine, FlushesAndPreservesMultiset) {
+  StateLayout layout({{AggFn::kCount, -1}});
+  auto policy = MakeHashingOnlyPolicy();
+  WorkerResources res(layout, kTableBytes, 1 << 18);
+  ExecStats stats;
+  PassContext ctx(layout, *policy, &res, 0, &stats);
+
+  // Many distinct keys: tiny table must flush repeatedly.
+  std::vector<uint64_t> keys;
+  Rng rng(2);
+  for (int i = 0; i < 50000; ++i) keys.push_back(rng.Next());
+  ctx.ProcessMorsel(RawMorsel(keys, {nullptr}));
+
+  cea::Run final_run(1, layout);
+  EXPECT_FALSE(ctx.Finalize(keys.size(), &final_run));
+  EXPECT_GT(stats.tables_flushed, 0u);
+
+  std::map<uint64_t, uint64_t> got = CountsOfRuns(ctx.runs());
+  std::map<uint64_t, uint64_t> expect;
+  for (uint64_t k : keys) ++expect[k];
+  EXPECT_EQ(got, expect);
+}
+
+TEST(HashingRoutine, RunsRespectRadixPartitions) {
+  StateLayout layout;
+  auto policy = MakeHashingOnlyPolicy();
+  WorkerResources res(layout, kTableBytes, 1 << 18);
+  ExecStats stats;
+  PassContext ctx(layout, *policy, &res, 0, &stats);
+
+  std::vector<uint64_t> keys;
+  Rng rng(3);
+  for (int i = 0; i < 30000; ++i) keys.push_back(rng.Next());
+  ctx.ProcessMorsel(RawMorsel(keys, {}));
+  cea::Run final_run(1, layout);
+  ctx.Finalize(keys.size(), &final_run);
+
+  for (uint32_t p = 0; p < kFanOut; ++p) {
+    for (uint64_t key : ctx.runs()[p].key_cols[0].ToVector()) {
+      ASSERT_EQ(RadixDigit(MurmurHash64(key), 0), p);
+    }
+  }
+}
+
+TEST(HashingRoutine, SplitRunsAreDistinct) {
+  StateLayout layout;
+  auto policy = MakeHashingOnlyPolicy();
+  WorkerResources res(layout, 1 << 20, 1 << 16);
+  ExecStats stats;
+  PassContext ctx(layout, *policy, &res, 0, &stats);
+
+  // Force exactly one flush by feeding two segments with a sentinel check:
+  // enough distinct keys to fill the table once, then finalize.
+  std::vector<uint64_t> keys;
+  Rng rng(4);
+  WorkerResources probe(layout, 1 << 20, 1 << 16);
+  uint32_t cap = probe.table().max_fill_slots();
+  for (uint32_t i = 0; i < cap / 2; ++i) keys.push_back(rng.Next());
+  ctx.ProcessMorsel(RawMorsel(keys, {}));
+  cea::Run final_run(1, layout);
+  bool final = ctx.Finalize(keys.size() + 1, &final_run);  // pretend more rows exist
+  EXPECT_FALSE(final);
+  // Single split => each non-empty run is distinct.
+  for (auto& run : ctx.runs()) {
+    if (!run.empty()) {
+      EXPECT_TRUE(run.distinct);
+    }
+  }
+}
+
+TEST(PartitioningRoutine, IsPermutationWithDigitInvariant) {
+  StateLayout layout({{AggFn::kSum, 0}});
+  auto policy = MakePartitionAlwaysPolicy(3);  // level 0 < 2: partitions
+  WorkerResources res(layout, kTableBytes, 1 << 18);
+  ExecStats stats;
+  PassContext ctx(layout, *policy, &res, 0, &stats);
+  EXPECT_EQ(ctx.mode(), Mode::kPartition);
+
+  std::vector<uint64_t> keys, values;
+  Rng rng(5);
+  for (int i = 0; i < 40000; ++i) {
+    keys.push_back(rng.NextBounded(1000));
+    values.push_back(rng.NextBounded(100));
+  }
+  ctx.ProcessMorsel(RawMorsel(keys, {values.data()}));
+  cea::Run final_run(1, layout);
+  EXPECT_FALSE(ctx.Finalize(keys.size(), &final_run));
+  EXPECT_EQ(stats.rows_partitioned, keys.size());
+  EXPECT_EQ(stats.rows_hashed, 0u);
+
+  // Multiset of (key, value) pairs is preserved; runs respect digits and
+  // are NOT marked distinct.
+  std::map<std::pair<uint64_t, uint64_t>, size_t> expect, got;
+  for (size_t i = 0; i < keys.size(); ++i) ++expect[{keys[i], values[i]}];
+  size_t total = 0;
+  for (uint32_t p = 0; p < kFanOut; ++p) {
+    const cea::Run& run = ctx.runs()[p];
+    EXPECT_FALSE(run.distinct);
+    std::vector<uint64_t> rk = run.key_cols[0].ToVector();
+    std::vector<uint64_t> rv = run.states[0].ToVector();
+    ASSERT_EQ(rk.size(), rv.size());
+    total += rk.size();
+    for (size_t i = 0; i < rk.size(); ++i) {
+      ASSERT_EQ(RadixDigit(MurmurHash64(rk[i]), 0), p);
+      ++got[{rk[i], rv[i]}];
+    }
+  }
+  EXPECT_EQ(total, keys.size());
+  EXPECT_EQ(got, expect);
+}
+
+TEST(PartitioningRoutine, CountBecomesLiteralOne) {
+  // Raw rows partitioned under COUNT must carry the state value 1.
+  StateLayout layout({{AggFn::kCount, -1}});
+  auto policy = MakePartitionAlwaysPolicy(2);
+  WorkerResources res(layout, kTableBytes, 1 << 18);
+  ExecStats stats;
+  PassContext ctx(layout, *policy, &res, 0, &stats);
+
+  std::vector<uint64_t> keys(1000, 42);
+  ctx.ProcessMorsel(RawMorsel(keys, {nullptr}));
+  cea::Run final_run(1, layout);
+  ctx.Finalize(keys.size(), &final_run);
+
+  uint32_t p = RadixDigit(MurmurHash64(42), 0);
+  const cea::Run& run = ctx.runs()[p];
+  ASSERT_EQ(run.size(), 1000u);
+  for (uint64_t c : run.states[0].ToVector()) ASSERT_EQ(c, 1u);
+}
+
+TEST(AdaptiveRoutine, SwitchesToPartitioningOnLowAlpha) {
+  StateLayout layout;
+  auto policy = MakeAdaptivePolicy(/*alpha0=*/11.0, /*c=*/10);
+  WorkerResources res(layout, kTableBytes, 1 << 18);
+  ExecStats stats;
+  PassContext ctx(layout, *policy, &res, 0, &stats);
+
+  // All-distinct keys: alpha ~= 1 at first fill -> must switch.
+  std::vector<uint64_t> keys;
+  Rng rng(6);
+  for (int i = 0; i < 100000; ++i) keys.push_back(rng.Next());
+  ctx.ProcessMorsel(RawMorsel(keys, {}));
+  cea::Run final_run(1, layout);
+  ctx.Finalize(keys.size(), &final_run);
+
+  EXPECT_GE(stats.switches_to_partition, 1u);
+  EXPECT_GT(stats.rows_partitioned, 0u);
+  EXPECT_GT(stats.rows_hashed, 0u);
+}
+
+TEST(AdaptiveRoutine, StaysHashingOnHighAlpha) {
+  StateLayout layout;
+  auto policy = MakeAdaptivePolicy(11.0, 10);
+  WorkerResources res(layout, kTableBytes, 1 << 18);
+  ExecStats stats;
+  PassContext ctx(layout, *policy, &res, 0, &stats);
+
+  // Only 64 distinct keys: the table never fills; pure hashing.
+  std::vector<uint64_t> keys;
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) keys.push_back(rng.NextBounded(64));
+  ctx.ProcessMorsel(RawMorsel(keys, {}));
+  cea::Run final_run(1, layout);
+  EXPECT_TRUE(ctx.Finalize(keys.size(), &final_run));
+  EXPECT_EQ(stats.switches_to_partition, 0u);
+  EXPECT_EQ(stats.rows_partitioned, 0u);
+}
+
+TEST(AdaptiveRoutine, SwitchesBackAfterQuota) {
+  StateLayout layout;
+  auto policy = MakeAdaptivePolicy(11.0, /*c=*/1);  // tiny quota
+  WorkerResources res(layout, kTableBytes, 1 << 18);
+  ExecStats stats;
+  PassContext ctx(layout, *policy, &res, 0, &stats);
+
+  std::vector<uint64_t> keys;
+  Rng rng(8);
+  for (int i = 0; i < 200000; ++i) keys.push_back(rng.Next());
+  ctx.ProcessMorsel(RawMorsel(keys, {}));
+  cea::Run final_run(1, layout);
+  ctx.Finalize(keys.size(), &final_run);
+
+  EXPECT_GE(stats.switches_to_hash, 1u);
+  EXPECT_GE(stats.switches_to_partition, 2u);  // re-probe fills again
+}
+
+TEST(AggregateExact, MatchesScalarExpectation) {
+  StateLayout layout({{AggFn::kSum, 0}, {AggFn::kCount, -1}});
+  std::vector<uint64_t> keys, values;
+  Rng rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    keys.push_back(rng.NextBounded(300));
+    values.push_back(rng.NextBounded(50));
+  }
+  std::vector<Morsel> morsels = {
+      RawMorsel(keys, {values.data(), nullptr})};
+  cea::Run final_run(1, layout);
+  AggregateExact(morsels, 1, layout, 0, &final_run);
+  EXPECT_TRUE(final_run.distinct);
+
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> expect;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    expect[keys[i]].first += values[i];
+    expect[keys[i]].second += 1;
+  }
+  ASSERT_EQ(final_run.size(), expect.size());
+  std::vector<uint64_t> rk = final_run.key_cols[0].ToVector();
+  std::vector<uint64_t> sums = final_run.states[0].ToVector();
+  std::vector<uint64_t> counts = final_run.states[1].ToVector();
+  for (size_t i = 0; i < rk.size(); ++i) {
+    ASSERT_EQ(sums[i], expect[rk[i]].first);
+    ASSERT_EQ(counts[i], expect[rk[i]].second);
+  }
+}
+
+TEST(MorselsForBucket, DecomposesRunsByChunks) {
+  StateLayout layout({{AggFn::kSum, 0}});
+  Bucket bucket;
+  cea::Run run(1, layout);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    run.key_cols[0].Append(i);
+    run.states[0].Append(i * 2);
+  }
+  bucket.push_back(std::move(run));
+  std::vector<Morsel> morsels = MorselsForBucket(bucket, 1, layout);
+  size_t total = 0;
+  uint64_t next = 0;
+  for (const Morsel& m : morsels) {
+    EXPECT_FALSE(m.raw);
+    ASSERT_EQ(m.cols.size(), 1u);
+    for (size_t i = 0; i < m.n; ++i) {
+      ASSERT_EQ(m.key_cols[0][i], next);
+      ASSERT_EQ(m.cols[0][i], next * 2);
+      ++next;
+    }
+    total += m.n;
+  }
+  EXPECT_EQ(total, 5000u);
+}
+
+}  // namespace
+}  // namespace cea

@@ -1,0 +1,122 @@
+// Unit tests for the task scheduler.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "cea/exec/task_scheduler.h"
+
+namespace cea {
+namespace {
+
+TEST(Scheduler, RunsSubmittedTasks) {
+  TaskScheduler pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count](int) { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Scheduler, WaitOnIdlePoolReturnsImmediately) {
+  TaskScheduler pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(Scheduler, WorkerIdsAreInRange) {
+  TaskScheduler pool(3);
+  std::atomic<bool> bad{false};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&bad](int wid) {
+      if (wid < 0 || wid >= 3) bad.store(true);
+    });
+  }
+  pool.Wait();
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(Scheduler, TasksCanSubmitTasks) {
+  // Wait() must cover transitively submitted work (the recursion of the
+  // operator relies on this).
+  TaskScheduler pool(4);
+  std::atomic<int> leaves{0};
+  std::function<void(int)> spawn = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1);
+      return;
+    }
+    for (int c = 0; c < 3; ++c) {
+      pool.Submit([&spawn, depth](int) { spawn(depth - 1); });
+    }
+  };
+  pool.Submit([&spawn](int) { spawn(4); });
+  pool.Wait();
+  EXPECT_EQ(leaves.load(), 81);  // 3^4
+}
+
+TEST(Scheduler, ParallelForCoversAllIndices) {
+  TaskScheduler pool(4);
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(n, [&](int, size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Scheduler, ParallelForZeroIsNoop) {
+  TaskScheduler pool(2);
+  pool.ParallelFor(0, [](int, size_t) { FAIL(); });
+}
+
+TEST(Scheduler, ParallelForSingleIndex) {
+  TaskScheduler pool(4);
+  std::atomic<int> count{0};
+  pool.ParallelFor(1, [&](int, size_t i) {
+    EXPECT_EQ(i, 0u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Scheduler, SingleThreadPoolWorks) {
+  TaskScheduler pool(1);
+  std::atomic<int> count{0};
+  pool.ParallelFor(100, [&](int wid, size_t) {
+    EXPECT_EQ(wid, 0);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Scheduler, SequentialBatchesReuseWorkers) {
+  TaskScheduler pool(4);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count](int) { count.fetch_add(1); });
+    }
+    pool.Wait();
+    ASSERT_EQ(count.load(), 50);
+  }
+}
+
+TEST(Scheduler, DestructorDrainsCleanly) {
+  std::atomic<int> count{0};
+  {
+    TaskScheduler pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count](int) { count.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace cea

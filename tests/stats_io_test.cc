@@ -1,0 +1,70 @@
+// Tests of telemetry/result formatting.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cea/core/aggregation_operator.h"
+#include "cea/core/stats_io.h"
+#include "test_util.h"
+
+namespace cea {
+namespace {
+
+TEST(FormatExecStats, ContainsKeyFigures) {
+  ExecStats s;
+  s.rows_hashed = 100;
+  s.rows_partitioned = 50;
+  s.tables_flushed = 3;
+  s.passes = 2;
+  s.switches_to_partition = 1;
+  s.sum_alpha = 8.0;
+  s.num_alpha = 2;
+  s.max_level = 1;
+  s.rows_hashed_at_level[0] = 100;
+  s.rows_partitioned_at_level[0] = 50;
+  std::string out = FormatExecStats(s);
+  EXPECT_NE(out.find("100 hashed"), std::string::npos);
+  EXPECT_NE(out.find("50 partitioned"), std::string::npos);
+  EXPECT_NE(out.find("mean alpha: 4.00"), std::string::npos);
+  EXPECT_NE(out.find("level 1"), std::string::npos);
+}
+
+TEST(ResultToCsv, SingleKeyAndAggregates) {
+  Column keys = {1, 2, 2};
+  Column values = {10, 20, 30};
+  AggregationOperator op({{AggFn::kSum, 0}, {AggFn::kAvg, 0}},
+                         TinyCacheOptions());
+  ResultTable result;
+  ASSERT_TRUE(
+      op.Execute(InputTable::FromColumns(keys, {&values}), &result).ok());
+  SortResultByKey(&result);
+  std::string csv = ResultToCsv(result);
+  EXPECT_EQ(csv,
+            "key,SUM,AVG\n"
+            "1,10,10\n"
+            "2,50,25\n");
+}
+
+TEST(ResultToCsv, CompositeKeysAndRowLimit) {
+  Column k0 = {1, 1, 2};
+  Column k1 = {7, 8, 7};
+  AggregationOperator op({{AggFn::kCount, -1}}, TinyCacheOptions());
+  ResultTable result;
+  ASSERT_TRUE(
+      op.Execute(InputTable::FromKeyColumns({&k0, &k1}, {}), &result).ok());
+  SortResultByKey(&result);
+  std::string csv = ResultToCsv(result, /*max_rows=*/2);
+  EXPECT_EQ(csv,
+            "key,key1,COUNT\n"
+            "1,7,1\n"
+            "1,8,1\n");
+}
+
+TEST(ResultToCsv, EmptyResult) {
+  ResultTable empty;
+  EXPECT_EQ(ResultToCsv(empty), "key\n");
+}
+
+}  // namespace
+}  // namespace cea

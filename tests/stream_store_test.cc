@@ -1,0 +1,80 @@
+// Tests of the non-temporal store wrappers.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "cea/common/machine.h"
+#include "cea/common/random.h"
+#include "cea/mem/stream_store.h"
+
+namespace cea {
+namespace {
+
+struct AlignedBlock {
+  explicit AlignedBlock(size_t bytes)
+      : data(static_cast<unsigned char*>(
+            std::aligned_alloc(kCacheLineBytes, bytes))),
+        size(bytes) {
+    std::memset(data, 0, bytes);
+  }
+  ~AlignedBlock() { std::free(data); }
+  unsigned char* data;
+  size_t size;
+};
+
+TEST(StreamStore, CopiesOneLine) {
+  AlignedBlock dst(kCacheLineBytes);
+  unsigned char src[kCacheLineBytes];
+  for (size_t i = 0; i < kCacheLineBytes; ++i) {
+    src[i] = static_cast<unsigned char>(i * 3);
+  }
+  StreamStoreLine(dst.data, src);
+  StreamFence();
+  EXPECT_EQ(std::memcmp(dst.data, src, kCacheLineBytes), 0);
+}
+
+TEST(StreamStore, UnalignedSourceIsFine) {
+  AlignedBlock dst(kCacheLineBytes);
+  std::vector<unsigned char> buf(kCacheLineBytes + 3);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<unsigned char>(255 - i);
+  }
+  StreamStoreLine(dst.data, buf.data() + 3);  // deliberately misaligned src
+  StreamFence();
+  EXPECT_EQ(std::memcmp(dst.data, buf.data() + 3, kCacheLineBytes), 0);
+}
+
+TEST(StreamMemcpy, ExactMultipleOfLines) {
+  const size_t bytes = 64 * 100;
+  AlignedBlock dst(bytes);
+  std::vector<unsigned char> src(bytes);
+  Rng rng(1);
+  for (auto& b : src) b = static_cast<unsigned char>(rng.Next());
+  StreamMemcpy(dst.data, src.data(), bytes);
+  EXPECT_EQ(std::memcmp(dst.data, src.data(), bytes), 0);
+}
+
+TEST(StreamMemcpy, RaggedTail) {
+  for (size_t bytes : {1u, 63u, 64u, 65u, 127u, 1000u}) {
+    AlignedBlock dst(1024);
+    std::vector<unsigned char> src(bytes, 0xAB);
+    StreamMemcpy(dst.data, src.data(), bytes);
+    EXPECT_EQ(std::memcmp(dst.data, src.data(), bytes), 0) << bytes;
+    // Nothing beyond `bytes` was touched.
+    for (size_t i = bytes; i < 1024; ++i) {
+      ASSERT_EQ(dst.data[i], 0) << "overwrote byte " << i;
+    }
+  }
+}
+
+TEST(StreamMemcpy, ZeroBytesIsNoop) {
+  AlignedBlock dst(64);
+  StreamMemcpy(dst.data, nullptr, 0);
+  for (size_t i = 0; i < 64; ++i) ASSERT_EQ(dst.data[i], 0);
+}
+
+}  // namespace
+}  // namespace cea

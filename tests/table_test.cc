@@ -1,0 +1,204 @@
+// Unit tests for the blocked cache-resident hash table and the growable
+// fallback table.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cea/common/random.h"
+#include "cea/hash/murmur.h"
+#include "cea/hash/radix.h"
+#include "cea/mem/chunked_array.h"
+#include "cea/table/blocked_hash_table.h"
+#include "cea/table/growable_hash_table.h"
+
+namespace cea {
+namespace {
+
+StateLayout CountLayout() { return StateLayout({{AggFn::kCount, -1}}); }
+StateLayout EmptyLayout() { return StateLayout(std::vector<AggregateSpec>{}); }
+
+TEST(BlockedTable, CapacitySizing) {
+  StateLayout layout = CountLayout();
+  BlockedOpenHashTable table(1 << 20, layout);
+  // slot = 8 (key) + 8 (count) + 1/8 (occupancy bit) bytes
+  EXPECT_LE(table.capacity() * 16u + table.capacity() / 8, 1u << 20);
+  EXPECT_GE(table.capacity(), 2 * kFanOut);
+  EXPECT_EQ(table.capacity() % kFanOut, 0u);
+  EXPECT_EQ(table.block_capacity() * kFanOut, table.capacity());
+}
+
+TEST(BlockedTable, MaxFillRate) {
+  StateLayout layout = CountLayout();
+  BlockedOpenHashTable table(1 << 20, layout, 0.25);
+  EXPECT_EQ(table.max_fill_slots(), table.capacity() / 4);
+}
+
+TEST(BlockedTable, InsertAndFind) {
+  StateLayout layout = CountLayout();
+  BlockedOpenHashTable table(1 << 20, layout);
+  uint64_t key = 12345;
+  uint64_t hash = MurmurHash64(key);
+  uint32_t s1 = table.FindOrInsert(key, hash, 0);
+  ASSERT_NE(s1, BlockedOpenHashTable::kFull);
+  EXPECT_EQ(table.fill(), 1u);
+  uint32_t s2 = table.FindOrInsert(key, hash, 0);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(table.fill(), 1u);
+}
+
+TEST(BlockedTable, NewSlotsStartAtIdentity) {
+  StateLayout layout({{AggFn::kSum, 0}, {AggFn::kMin, 1}, {AggFn::kAvg, 2}});
+  BlockedOpenHashTable table(1 << 20, layout);
+  uint64_t key = 99;
+  uint32_t s = table.FindOrInsert(key, MurmurHash64(key), 0);
+  ASSERT_NE(s, BlockedOpenHashTable::kFull);
+  EXPECT_EQ(table.state_array(0)[s], 0u);            // SUM
+  EXPECT_EQ(table.state_array(1)[s], ~uint64_t{0});  // MIN
+  EXPECT_EQ(table.state_array(2)[s], 0u);            // AVG sum
+  EXPECT_EQ(table.state_array(3)[s], 0u);            // AVG count
+}
+
+TEST(BlockedTable, SlotLandsInRadixBlock) {
+  StateLayout layout = EmptyLayout();
+  BlockedOpenHashTable table(1 << 20, layout);
+  Rng rng(7);
+  for (int level = 0; level < 3; ++level) {
+    table.Clear();
+    for (int i = 0; i < 1000; ++i) {
+      uint64_t key = rng.Next();
+      uint64_t hash = MurmurHash64(key);
+      uint32_t s = table.FindOrInsert(key, hash, level);
+      ASSERT_NE(s, BlockedOpenHashTable::kFull);
+      EXPECT_EQ(s / table.block_capacity(), RadixDigit(hash, level));
+    }
+  }
+}
+
+TEST(BlockedTable, ReportsFullAtFillCap) {
+  StateLayout layout = EmptyLayout();
+  // Capacity 2^15 slots, fill cap 2^13: blocks hold 128 slots, so random
+  // keys hit the global fill cap long before any block overflows.
+  BlockedOpenHashTable table((size_t{1} << 15) * 9, layout, 0.25);
+  uint32_t inserted = 0;
+  Rng rng(9);
+  while (true) {
+    uint64_t key = rng.Next();
+    uint32_t s = table.FindOrInsert(key, MurmurHash64(key), 0);
+    if (s == BlockedOpenHashTable::kFull) break;
+    ++inserted;
+    ASSERT_LT(inserted, table.capacity());
+  }
+  EXPECT_EQ(inserted, table.max_fill_slots());
+}
+
+TEST(BlockedTable, EmitBlockRoundTrips) {
+  StateLayout layout = CountLayout();
+  BlockedOpenHashTable table(1 << 18, layout);
+  std::map<uint64_t, uint64_t> expect;
+  Rng rng(11);
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t key = rng.NextBounded(1000);
+    uint32_t s = table.FindOrInsert(key, MurmurHash64(key), 0);
+    ASSERT_NE(s, BlockedOpenHashTable::kFull);
+    table.state_array(0)[s] += 1;
+    expect[key] += 1;
+  }
+  std::map<uint64_t, uint64_t> got;
+  size_t total_emitted = 0;
+  for (uint32_t b = 0; b < kFanOut; ++b) {
+    std::vector<ChunkedArray> keys(1);
+    std::vector<ChunkedArray> states(1);
+    size_t emitted = table.EmitBlock(b, &keys, &states);
+    total_emitted += emitted;
+    std::vector<uint64_t> kv = keys[0].ToVector();
+    std::vector<uint64_t> cv = states[0].ToVector();
+    ASSERT_EQ(kv.size(), cv.size());
+    ASSERT_EQ(kv.size(), emitted);
+    for (size_t i = 0; i < kv.size(); ++i) {
+      EXPECT_EQ(got.count(kv[i]), 0u) << "duplicate key across blocks";
+      got[kv[i]] = cv[i];
+    }
+  }
+  EXPECT_EQ(total_emitted, table.fill());
+  EXPECT_EQ(got, expect);
+}
+
+TEST(BlockedTable, ClearEmptiesTable) {
+  StateLayout layout = EmptyLayout();
+  BlockedOpenHashTable table(1 << 18, layout);
+  for (uint64_t k = 0; k < 100; ++k) {
+    table.FindOrInsert(k, MurmurHash64(k), 0);
+  }
+  EXPECT_EQ(table.fill(), 100u);
+  table.Clear();
+  EXPECT_EQ(table.fill(), 0u);
+  EXPECT_TRUE(table.empty());
+  // Reinserting after Clear claims fresh slots.
+  uint32_t s = table.FindOrInsert(5, MurmurHash64(5), 0);
+  ASSERT_NE(s, BlockedOpenHashTable::kFull);
+  EXPECT_EQ(table.fill(), 1u);
+}
+
+TEST(BlockedTable, CollisionsResolveWithinBlock) {
+  // Force collisions with a minimal table; all inserted keys must remain
+  // findable and distinct keys get distinct slots.
+  StateLayout layout = EmptyLayout();
+  BlockedOpenHashTable table(2 * kFanOut * 9, layout, 1.0);
+  std::map<uint64_t, uint32_t> slots;
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t key = rng.Next();
+    uint32_t s = table.FindOrInsert(key, MurmurHash64(key), 0);
+    if (s == BlockedOpenHashTable::kFull) continue;  // block overflow ok
+    slots[key] = s;
+  }
+  std::set<uint32_t> distinct;
+  for (auto& [key, slot] : slots) {
+    EXPECT_EQ(table.FindOrInsert(key, MurmurHash64(key), 0), slot);
+    distinct.insert(slot);
+  }
+  EXPECT_EQ(distinct.size(), slots.size());
+}
+
+TEST(GrowableTable, GrowsPreservingStates) {
+  StateLayout layout = CountLayout();
+  GrowableHashTable table(layout, 0);
+  std::map<uint64_t, uint64_t> expect;
+  Rng rng(17);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t key = rng.NextBounded(9000) + 1;
+    size_t s = table.FindOrInsert(key);
+    table.state_array(0)[s] += 1;
+    expect[key] += 1;
+  }
+  EXPECT_EQ(table.size(), expect.size());
+  std::map<uint64_t, uint64_t> got;
+  table.ForEachSlot([&](size_t s) {
+    got[table.key_array()[s]] = table.state_array(0)[s];
+  });
+  EXPECT_EQ(got, expect);
+}
+
+TEST(GrowableTable, HandlesDenseSequentialKeys) {
+  StateLayout layout = EmptyLayout();
+  GrowableHashTable table(layout, 4);
+  for (uint64_t k = 0; k < 10000; ++k) table.FindOrInsert(k);
+  EXPECT_EQ(table.size(), 10000u);
+  // Fill factor stays below 50% after growth.
+  EXPECT_GE(table.capacity(), 2 * table.size());
+}
+
+TEST(GrowableTable, IdempotentInsert) {
+  StateLayout layout = EmptyLayout();
+  GrowableHashTable table(layout, 0);
+  size_t s1 = table.FindOrInsert(42);
+  size_t s2 = table.FindOrInsert(42);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cea

@@ -1,0 +1,68 @@
+// Shared helpers for the integration tests.
+
+#ifndef CEA_TESTS_TEST_UTIL_H_
+#define CEA_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cea/baselines/reference.h"
+#include "cea/columnar/column.h"
+#include "cea/core/aggregation_operator.h"
+
+namespace cea {
+
+// Runs the operator and the scalar reference on the same input and expects
+// identical results (keys, aggregates; order-insensitive).
+inline void ExpectMatchesReference(const std::vector<AggregateSpec>& specs,
+                                   const InputTable& input,
+                                   AggregationOptions options,
+                                   ExecStats* stats_out = nullptr) {
+  AggregationOperator op(specs, options);
+  ResultTable got;
+  ExecStats stats;
+  Status s = op.Execute(input, &got, &stats);
+  ASSERT_TRUE(s.ok()) << s.message();
+  if (stats_out != nullptr) *stats_out = stats;
+
+  ResultTable expect = ReferenceAggregate(input, specs);
+  SortResultByKey(&got);
+
+  ASSERT_EQ(got.keys.size(), expect.keys.size()) << "group count mismatch";
+  ASSERT_EQ(got.keys, expect.keys);
+  ASSERT_EQ(got.extra_keys.size(), expect.extra_keys.size());
+  for (size_t w = 0; w < expect.extra_keys.size(); ++w) {
+    ASSERT_EQ(got.extra_keys[w], expect.extra_keys[w]) << "key column " << w;
+  }
+  ASSERT_EQ(got.aggregates.size(), expect.aggregates.size());
+  for (size_t c = 0; c < expect.aggregates.size(); ++c) {
+    const ResultColumn& g = got.aggregates[c];
+    const ResultColumn& e = expect.aggregates[c];
+    ASSERT_EQ(g.fn, e.fn);
+    if (e.fn == AggFn::kAvg) {
+      ASSERT_EQ(g.f64.size(), e.f64.size());
+      for (size_t i = 0; i < e.f64.size(); ++i) {
+        ASSERT_DOUBLE_EQ(g.f64[i], e.f64[i]) << "row " << i << " col " << c;
+      }
+    } else {
+      ASSERT_EQ(g.u64, e.u64) << "col " << c;
+    }
+  }
+}
+
+// Small-cache options that force multi-level recursion even on small
+// inputs, with deterministic thread count.
+inline AggregationOptions TinyCacheOptions(int threads = 2,
+                                           size_t table_bytes = 1 << 16) {
+  AggregationOptions o;
+  o.num_threads = threads;
+  o.table_bytes = table_bytes;
+  o.morsel_rows = 1 << 12;
+  return o;
+}
+
+}  // namespace cea
+
+#endif  // CEA_TESTS_TEST_UTIL_H_

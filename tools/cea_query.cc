@@ -1,0 +1,184 @@
+// cea_query: command-line driver for the aggregation operator.
+//
+// Generates a synthetic input (or reads keys from a binary file of
+// little-endian u64) and runs an aggregation, printing timing, telemetry
+// and optionally the result as CSV.
+//
+// Examples:
+//   cea_query --n=4194304 --k=65536 --dist=zipf --aggs=count,sum:0
+//   cea_query --n=1000000 --k=100 --aggs=sum:0,avg:0 --csv --csv_rows=10
+//   cea_query --keys_file=keys.bin --aggs=count --policy=hashing
+//
+// Flags:
+//   --n, --k, --dist, --seed      synthetic input shape (Section 6.5 names)
+//   --keys_file=PATH              read keys from file instead of generating
+//   --aggs=LIST                   comma list of fn[:value_col]; fns: count,
+//                                 sum, min, max, avg. Value columns are
+//                                 generated (uniform < 2^20).
+//   --threads, --table_bytes, --policy=adaptive|hashing|partition
+//   --passes (for partition), --alpha0, --c, --k_hint
+//   --csv [--csv_rows=N]          print result as CSV
+//   --stats                       print execution telemetry
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cea/common/flags.h"
+#include "cea/core/aggregation_operator.h"
+#include "cea/core/stats_io.h"
+#include "cea/datagen/generators.h"
+
+namespace {
+
+bool ParseAggs(const std::string& spec_list,
+               std::vector<cea::AggregateSpec>* specs, int* max_col) {
+  *max_col = -1;
+  if (spec_list.empty()) return true;  // pure DISTINCT
+  size_t pos = 0;
+  while (pos < spec_list.size()) {
+    size_t comma = spec_list.find(',', pos);
+    std::string item = spec_list.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec_list.size() : comma + 1;
+
+    std::string fn_name = item;
+    int col = 0;
+    size_t colon = item.find(':');
+    if (colon != std::string::npos) {
+      fn_name = item.substr(0, colon);
+      col = std::atoi(item.c_str() + colon + 1);
+    }
+    cea::AggFn fn;
+    if (fn_name == "count") {
+      fn = cea::AggFn::kCount;
+      col = -1;
+    } else if (fn_name == "sum") {
+      fn = cea::AggFn::kSum;
+    } else if (fn_name == "min") {
+      fn = cea::AggFn::kMin;
+    } else if (fn_name == "max") {
+      fn = cea::AggFn::kMax;
+    } else if (fn_name == "avg") {
+      fn = cea::AggFn::kAvg;
+    } else {
+      std::fprintf(stderr, "unknown aggregate '%s'\n", fn_name.c_str());
+      return false;
+    }
+    if (cea::NeedsInput(fn) && col > *max_col) *max_col = col;
+    specs->push_back({fn, col});
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cea::Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf("see the header comment of tools/cea_query.cc for flags\n");
+    return 0;
+  }
+
+  // Input keys.
+  std::vector<uint64_t> keys;
+  std::string keys_file = flags.GetString("keys_file", "");
+  if (!keys_file.empty()) {
+    std::ifstream in(keys_file, std::ios::binary | std::ios::ate);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", keys_file.c_str());
+      return 1;
+    }
+    std::streamsize bytes = in.tellg();
+    in.seekg(0);
+    if (bytes % static_cast<std::streamsize>(sizeof(uint64_t)) != 0) {
+      std::fprintf(stderr,
+                   "warning: %s is not a multiple of 8 bytes; trailing %lld "
+                   "bytes ignored\n",
+                   keys_file.c_str(),
+                   static_cast<long long>(bytes % 8));
+    }
+    keys.resize(static_cast<size_t>(bytes) / sizeof(uint64_t));
+    in.read(reinterpret_cast<char*>(keys.data()),
+            static_cast<std::streamsize>(keys.size() * sizeof(uint64_t)));
+  } else {
+    cea::GenParams gp;
+    gp.n = flags.GetUint("n", 1 << 20);
+    gp.k = flags.GetUint("k", 1 << 10);
+    gp.seed = flags.GetUint("seed", 42);
+    std::string dist = flags.GetString("dist", "uniform");
+    if (!cea::ParseDistribution(dist, &gp.dist)) {
+      std::fprintf(stderr, "unknown distribution '%s'\n", dist.c_str());
+      return 1;
+    }
+    keys = cea::GenerateKeys(gp);
+  }
+
+  // Aggregates and value columns.
+  std::vector<cea::AggregateSpec> specs;
+  int max_col = -1;
+  if (!ParseAggs(flags.GetString("aggs", "count"), &specs, &max_col)) {
+    return 1;
+  }
+  std::vector<cea::Column> values;
+  for (int c = 0; c <= max_col; ++c) {
+    values.push_back(cea::GenerateValues(keys.size(), 1000 + c));
+  }
+
+  // Operator options.
+  cea::AggregationOptions options;
+  options.num_threads = static_cast<int>(flags.GetUint("threads", 0));
+  options.table_bytes = flags.GetUint("table_bytes", 0);
+  options.k_hint = flags.GetUint("k_hint", 0);
+  options.alpha0 = flags.GetDouble("alpha0", 11.0);
+  options.c = flags.GetUint("c", 10);
+  std::string policy = flags.GetString("policy", "adaptive");
+  if (policy == "adaptive") {
+    options.policy = cea::AggregationOptions::PolicyKind::kAdaptive;
+  } else if (policy == "hashing") {
+    options.policy = cea::AggregationOptions::PolicyKind::kHashingOnly;
+  } else if (policy == "partition") {
+    options.policy = cea::AggregationOptions::PolicyKind::kPartitionAlways;
+    options.partition_passes =
+        static_cast<int>(flags.GetUint("passes", 2));
+  } else {
+    std::fprintf(stderr, "unknown policy '%s'\n", policy.c_str());
+    return 1;
+  }
+
+  cea::InputTable input;
+  input.keys = keys.data();
+  for (const cea::Column& v : values) input.values.push_back(v.data());
+  input.num_rows = keys.size();
+
+  cea::AggregationOperator op(specs, options);
+  cea::ResultTable result;
+  cea::ExecStats stats;
+  auto start = std::chrono::steady_clock::now();
+  cea::Status status = op.Execute(input, &result, &stats);
+  double sec = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.message().c_str());
+    return 1;
+  }
+
+  std::fprintf(stderr,
+               "%zu rows -> %zu groups in %.3f ms (%.2f ns/row, policy %s, "
+               "%d threads)\n",
+               keys.size(), result.num_groups(), sec * 1e3,
+               sec / static_cast<double>(keys.size()) * 1e9,
+               op.policy().Name().c_str(), op.num_threads());
+  if (flags.Has("stats")) {
+    std::fprintf(stderr, "%s", cea::FormatExecStats(stats).c_str());
+  }
+  if (flags.Has("csv")) {
+    std::string csv =
+        cea::ResultToCsv(result, flags.GetUint("csv_rows", 0));
+    std::fwrite(csv.data(), 1, csv.size(), stdout);
+  }
+  return 0;
+}
