@@ -17,13 +17,13 @@ class AtomicBaseline final : public GroupCountBaseline {
                   TaskScheduler& pool) override {
     AtomicCountTable table(BaselineTableCapacity(k_hint, l3_bytes_));
     size_t chunks = CeilDiv(n, kChunkRows);
-    pool.ParallelFor(chunks, [&](int worker_id, size_t c) {
+    CEA_CHECK(pool.ParallelFor(chunks, [&](int worker_id, size_t c) {
       size_t begin = c * kChunkRows;
       size_t end = std::min(n, begin + kChunkRows);
       for (size_t i = begin; i < end; ++i) {
         table.Add(keys[i], 1);
       }
-    });
+    }).ok());
     return table.Extract();
   }
 

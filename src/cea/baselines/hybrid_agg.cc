@@ -77,18 +77,18 @@ class HybridBaseline final : public GroupCountBaseline {
     }
 
     size_t chunks = CeilDiv(n, kChunkRows);
-    pool.ParallelFor(chunks, [&](int worker_id, size_t c) {
+    CEA_CHECK(pool.ParallelFor(chunks, [&](int worker_id, size_t c) {
       PrivateCountTable& mine = *privates[worker_id];
       size_t begin = c * kChunkRows;
       size_t end = std::min(n, begin + kChunkRows);
       for (size_t i = begin; i < end; ++i) {
         mine.Add(keys[i], &global);
       }
-    });
+    }).ok());
 
-    pool.ParallelFor(threads, [&](int worker_id, size_t t) {
+    CEA_CHECK(pool.ParallelFor(threads, [&](int worker_id, size_t t) {
       privates[t]->FlushTo(&global);
-    });
+    }).ok());
     return global.Extract();
   }
 

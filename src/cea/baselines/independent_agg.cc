@@ -25,7 +25,7 @@ class IndependentBaseline final : public GroupCountBaseline {
 
     // Pass 1: static range split, one private table per range.
     std::vector<std::unique_ptr<GrowableHashTable>> tables(threads);
-    pool.ParallelFor(threads, [&](int worker_id, size_t t) {
+    CEA_CHECK(pool.ParallelFor(threads, [&](int worker_id, size_t t) {
       size_t begin = n * t / threads;
       size_t end = n * (t + 1) / threads;
       auto table = std::make_unique<GrowableHashTable>(
@@ -35,11 +35,11 @@ class IndependentBaseline final : public GroupCountBaseline {
         table->state_array(0)[slot] += 1;
       }
       tables[t] = std::move(table);
-    });
+    }).ok());
 
     // Pass 2: merge by hash range; range r owns hashes with top bits == r.
     std::vector<GroupCounts> partials(threads);
-    pool.ParallelFor(threads, [&](int worker_id, size_t r) {
+    CEA_CHECK(pool.ParallelFor(threads, [&](int worker_id, size_t r) {
       GrowableHashTable merged(layout, k_hint / threads + 16);
       for (const auto& table : tables) {
         table->ForEachSlot([&](size_t slot) {
@@ -56,7 +56,7 @@ class IndependentBaseline final : public GroupCountBaseline {
         out.keys.push_back(merged.key_array()[slot]);
         out.counts.push_back(merged.state_array(0)[slot]);
       });
-    });
+    }).ok());
 
     GroupCounts result;
     for (GroupCounts& p : partials) {

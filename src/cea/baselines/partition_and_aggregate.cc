@@ -27,7 +27,7 @@ class PartitionAndAggregateBaseline final : public GroupCountBaseline {
     // Pass 1: naive partitioning into per-thread partition vectors.
     std::vector<std::vector<std::vector<uint64_t>>> parts(
         threads, std::vector<std::vector<uint64_t>>(kFanOut));
-    pool.ParallelFor(threads, [&](int worker_id, size_t t) {
+    CEA_CHECK(pool.ParallelFor(threads, [&](int worker_id, size_t t) {
       size_t begin = n * t / threads;
       size_t end = n * (t + 1) / threads;
       auto& mine = parts[t];
@@ -35,11 +35,11 @@ class PartitionAndAggregateBaseline final : public GroupCountBaseline {
         uint32_t d = RadixDigit(MurmurHash64(keys[i]), 0);
         mine[d].push_back(keys[i]);
       }
-    });
+    }).ok());
 
     // Pass 2: aggregate each partition.
     std::vector<GroupCounts> partials(kFanOut);
-    pool.ParallelFor(kFanOut, [&](int worker_id, size_t p) {
+    CEA_CHECK(pool.ParallelFor(kFanOut, [&](int worker_id, size_t p) {
       GrowableHashTable table(layout, k_hint / kFanOut + 16);
       for (int t = 0; t < threads; ++t) {
         for (uint64_t key : parts[t][p]) {
@@ -52,7 +52,7 @@ class PartitionAndAggregateBaseline final : public GroupCountBaseline {
         out.keys.push_back(table.key_array()[slot]);
         out.counts.push_back(table.state_array(0)[slot]);
       });
-    });
+    }).ok());
 
     GroupCounts result;
     for (GroupCounts& p : partials) {

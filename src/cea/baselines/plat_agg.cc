@@ -34,7 +34,7 @@ class PlatBaseline final : public GroupCountBaseline {
     // Pass 1: private aggregation with partition overflow. The private
     // table uses a generous fill cap — PLAT keeps using the table after it
     // stops accepting new groups (existing groups still aggregate).
-    pool.ParallelFor(threads, [&](int worker_id, size_t t) {
+    CEA_CHECK(pool.ParallelFor(threads, [&](int worker_id, size_t t) {
       ThreadState& st = states[t];
       st.table = std::make_unique<BlockedOpenHashTable>(private_bytes, layout,
                                                         /*max_fill=*/0.5);
@@ -51,12 +51,12 @@ class PlatBaseline final : public GroupCountBaseline {
           st.table->state_array(0)[slot] += 1;
         }
       }
-    });
+    }).ok());
 
     // Pass 2: per partition, merge overflow rows and the matching block of
     // every private table.
     std::vector<GroupCounts> partials(kFanOut);
-    pool.ParallelFor(kFanOut, [&](int worker_id, size_t p) {
+    CEA_CHECK(pool.ParallelFor(kFanOut, [&](int worker_id, size_t p) {
       GrowableHashTable merged(layout, k_hint / kFanOut + 16);
       for (int t = 0; t < threads; ++t) {
         const ThreadState& st = states[t];
@@ -78,7 +78,7 @@ class PlatBaseline final : public GroupCountBaseline {
         out.keys.push_back(merged.key_array()[slot]);
         out.counts.push_back(merged.state_array(0)[slot]);
       });
-    });
+    }).ok());
 
     GroupCounts result;
     for (GroupCounts& p : partials) {

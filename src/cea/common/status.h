@@ -1,8 +1,11 @@
-// Minimal status type for user-facing argument validation.
+// Minimal status type for user-facing failures.
 //
-// Internal invariants use CEA_CHECK (cea/common/check.h); Status is reserved
-// for errors a caller can plausibly trigger with bad arguments, e.g. an
-// aggregation spec that references a column the input table does not have.
+// Internal invariants use CEA_CHECK (cea/common/check.h); Status covers the
+// two failure classes a caller can observe: bad arguments (an aggregation
+// spec that references a column the input table does not have) and runtime
+// execution failures (a task that threw, e.g. on allocation failure), which
+// the task scheduler captures and the operator propagates instead of
+// terminating the process.
 
 #ifndef CEA_COMMON_STATUS_H_
 #define CEA_COMMON_STATUS_H_
@@ -21,6 +24,12 @@ class Status {
   static Status Ok() { return Status(); }
   static Status InvalidArgument(std::string message) {
     return Status(std::move(message));
+  }
+  // Execution failure surfaced at runtime (captured task exception,
+  // allocation failure, ...). The message must be non-empty.
+  static Status RuntimeError(std::string message) {
+    return Status(message.empty() ? std::string("unknown runtime error")
+                                  : std::move(message));
   }
 
   bool ok() const { return message_.empty(); }

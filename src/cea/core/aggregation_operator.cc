@@ -77,7 +77,7 @@ Status AggregationOperator::ValidateSpecs(const InputTable& input) const {
             std::string(AggFnName(spec.fn)) +
             " references input column out of range");
       }
-      if (input.values[spec.input_column] == nullptr) {
+      if (input.num_rows != 0 && input.values[spec.input_column] == nullptr) {
         return Status::InvalidArgument("null input column");
       }
     }
@@ -128,11 +128,27 @@ Status AggregationOperator::Execute(const InputTable& input,
 
   if (input.num_rows != 0) {
     ScheduleRootPass(input);
-    scheduler_->Wait();
+    Status e = scheduler_->Wait();
+    if (!e.ok()) {
+      RecoverExecutionState();
+      return e;
+    }
   }
 
   CollectResult(result, stats);
   return Status::Ok();
+}
+
+void AggregationOperator::RecoverExecutionState() {
+  for (auto& r : resources_) r->ResetForRecovery();
+  ResetExecutionState();
+}
+
+void AggregationOperator::AbortStream() {
+  streaming_ = false;
+  stream_ctx_.reset();
+  scheduler_->Wait();  // drain and discard whatever was still scheduled
+  RecoverExecutionState();
 }
 
 Status AggregationOperator::BeginStream(int key_columns) {
@@ -164,22 +180,33 @@ Status AggregationOperator::ConsumeBatch(const InputTable& batch) {
 
   auto start = std::chrono::steady_clock::now();
   const size_t step = resources_[0]->max_morsel_rows();
-  for (size_t off = 0; off < batch.num_rows; off += step) {
-    Morsel m;
-    m.n = std::min(step, batch.num_rows - off);
-    m.key_cols.reserve(key_words_);
-    m.key_cols.push_back(batch.keys + off);
-    for (const uint64_t* extra : batch.extra_keys) {
-      m.key_cols.push_back(extra + off);
+  try {
+    for (size_t off = 0; off < batch.num_rows; off += step) {
+      Morsel m;
+      m.n = std::min(step, batch.num_rows - off);
+      m.key_cols.reserve(key_words_);
+      m.key_cols.push_back(batch.keys + off);
+      for (const uint64_t* extra : batch.extra_keys) {
+        m.key_cols.push_back(extra + off);
+      }
+      m.raw = true;
+      m.cols.resize(layout_.specs.size());
+      for (size_t s = 0; s < layout_.specs.size(); ++s) {
+        const AggregateSpec& spec = layout_.specs[s];
+        m.cols[s] = NeedsInput(spec.fn) ? batch.values[spec.input_column] + off
+                                        : nullptr;
+      }
+      stream_ctx_->ProcessMorsel(m);
     }
-    m.raw = true;
-    m.cols.resize(layout_.specs.size());
-    for (size_t s = 0; s < layout_.specs.size(); ++s) {
-      const AggregateSpec& spec = layout_.specs[s];
-      m.cols[s] = NeedsInput(spec.fn) ? batch.values[spec.input_column] + off
-                                      : nullptr;
-    }
-    stream_ctx_->ProcessMorsel(m);
+  } catch (const std::exception& e) {
+    // The PassContext is mid-row and unusable; close the stream.
+    AbortStream();
+    return Status::RuntimeError(std::string("stream batch failed: ") +
+                                e.what());
+  } catch (...) {
+    AbortStream();
+    return Status::RuntimeError(
+        "stream batch failed: non-standard exception");
   }
   stream_rows_ += batch.num_rows;
   worker_stats_[0].seconds_at_level[0] +=
@@ -196,21 +223,36 @@ Status AggregationOperator::FinishStream(ResultTable* result,
   streaming_ = false;
 
   if (stream_rows_ != 0) {
-    Run final_run(key_words_, layout_);
-    if (stream_ctx_->Finalize(stream_rows_, &final_run)) {
-      worker_finals_[0].push_back(std::move(final_run));
-    } else {
-      // Second code fragment: recurse into the buckets the stream
-      // produced.
-      for (uint32_t p = 0; p < kFanOut; ++p) {
-        Run& r = stream_ctx_->runs()[p];
-        if (!r.empty()) {
-          Bucket child;
-          child.push_back(std::move(r));
-          ScheduleBucket(std::move(child), /*level=*/1);
+    try {
+      Run final_run(key_words_, layout_);
+      if (stream_ctx_->Finalize(stream_rows_, &final_run)) {
+        worker_finals_[0].push_back(std::move(final_run));
+      } else {
+        // Second code fragment: recurse into the buckets the stream
+        // produced.
+        for (uint32_t p = 0; p < kFanOut; ++p) {
+          Run& r = stream_ctx_->runs()[p];
+          if (!r.empty()) {
+            Bucket child;
+            child.push_back(std::move(r));
+            ScheduleBucket(std::move(child), /*level=*/1);
+          }
         }
       }
-      scheduler_->Wait();
+    } catch (const std::exception& e) {
+      AbortStream();
+      return Status::RuntimeError(
+          std::string("stream finalization failed: ") + e.what());
+    } catch (...) {
+      AbortStream();
+      return Status::RuntimeError(
+          "stream finalization failed: non-standard exception");
+    }
+    Status e = scheduler_->Wait();
+    if (!e.ok()) {
+      stream_ctx_.reset();
+      RecoverExecutionState();
+      return e;
     }
   }
   stream_ctx_.reset();
@@ -278,6 +320,7 @@ void AggregationOperator::SchedulePass(std::shared_ptr<Pass> pass) {
 
 void AggregationOperator::RunPassWorker(const std::shared_ptr<Pass>& pass,
                                         int worker_id) {
+  if (options_.fault_hook) options_.fault_hook(pass->level);
   auto start = std::chrono::steady_clock::now();
   std::unique_ptr<PassContext> ctx;
   const size_t num_morsels = pass->morsels.size();
@@ -361,6 +404,7 @@ void AggregationOperator::ScheduleExact(std::vector<Morsel> morsels,
   auto source_ptr = std::make_shared<Bucket>(std::move(source));
   scheduler_->Submit([this, morsels_ptr, source_ptr, level,
                       expected](int worker_id) {
+    if (options_.fault_hook) options_.fault_hook(level);
     auto start = std::chrono::steady_clock::now();
     Run final_run(key_words_, layout_);
     AggregateExact(*morsels_ptr, key_words_, layout_, expected, &final_run);

@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -67,6 +68,13 @@ struct AggregationOptions {
   size_t k_hint = 0;
 
   MachineInfo machine = DetectMachine();
+
+  // Test-only fault injection for the correctness harness: when set, every
+  // scheduled pass/fallback task invokes this with its radix level before
+  // processing. A hook that throws exercises the error-propagation path —
+  // the scheduler captures the exception and Execute/FinishStream return
+  // it as a Status. Must be thread-safe; leave null in production.
+  std::function<void(int level)> fault_hook;
 };
 
 class AggregationOperator {
@@ -79,7 +87,10 @@ class AggregationOperator {
   AggregationOperator& operator=(const AggregationOperator&) = delete;
 
   // Aggregates `input` into `result` (group order unspecified). If `stats`
-  // is non-null it receives merged execution telemetry.
+  // is non-null it receives merged execution telemetry. Returns non-OK on
+  // invalid arguments or when a pass fails at runtime (a task threw, e.g.
+  // on allocation failure); after an error the operator is reset and stays
+  // reusable.
   Status Execute(const InputTable& input, ResultTable* result,
                  ExecStats* stats = nullptr);
 
@@ -139,6 +150,12 @@ class AggregationOperator {
 
   Status ValidateSpecs(const InputTable& input) const;
   void ResetExecutionState();
+  // Returns the operator to a schedulable state after an aborted
+  // execution: per-worker scratch (SWC lines, table) holds partial pass
+  // output that must not leak into the next Execute.
+  void RecoverExecutionState();
+  // Tears down the stream after a failed batch or finalization.
+  void AbortStream();
   void CollectResult(ResultTable* result, ExecStats* stats);
 };
 

@@ -97,6 +97,16 @@ class WorkerResources {
   size_t max_morsel_rows() const { return slots_.size(); }
   int key_words() const { return key_words_; }
 
+  // Restores the invariants PassContext's constructor relies on after an
+  // aborted pass (error-propagation path): buffered SWC lines are garbage
+  // and their destinations point into freed runs, so drop both and empty
+  // the table. Never called on the hot path.
+  void ResetForRecovery() {
+    table_.Clear();
+    for (auto& w : key_writers_) w->Reset();
+    for (auto& w : state_writers_) w->Reset();
+  }
+
  private:
   int key_words_;
   BlockedOpenHashTable table_;

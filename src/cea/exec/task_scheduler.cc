@@ -1,8 +1,37 @@
 #include "cea/exec/task_scheduler.h"
 
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <utility>
+
 #include "cea/common/check.h"
 
 namespace cea {
+namespace {
+
+// Worker identity of the current thread. tls_scheduler identifies the pool
+// the thread belongs to (a worker of pool A is an outside caller for pool
+// B); tls_task_depth counts the enclosing task frames on this thread —
+// plain tasks plus tasks executed while helping to drain inside a nested
+// Wait()/ParallelFor.
+thread_local TaskScheduler* tls_scheduler = nullptr;
+thread_local int tls_worker_id = -1;
+thread_local size_t tls_task_depth = 0;
+
+}  // namespace
+
+// Per-call state of one ParallelFor: the loop body (owned here so queued
+// tasks never reference the caller's stack frame), the index cursor, and
+// the group's completion/error bookkeeping.
+struct TaskScheduler::ForState {
+  std::function<void(int, size_t)> fn;
+  size_t n = 0;
+  std::atomic<size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  size_t pending = 0;  // group tasks not yet finished, guarded by mutex_
+  Status error;        // first error of this group, guarded by mutex_
+};
 
 TaskScheduler::TaskScheduler(int num_threads) {
   CEA_CHECK_MSG(num_threads >= 1, "need at least one worker");
@@ -17,7 +46,7 @@ TaskScheduler::~TaskScheduler() {
     std::unique_lock<std::mutex> lock(mutex_);
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  cv_.notify_all();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -27,47 +56,126 @@ void TaskScheduler::Submit(Task task) {
     ++outstanding_;
     queue_.push_back(std::move(task));
   }
-  work_available_.notify_one();
+  // notify_all, not notify_one: besides idle workers, callers blocked in
+  // Wait()/ParallelFor must wake to help drain the new work.
+  cv_.notify_all();
 }
 
-void TaskScheduler::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return outstanding_ == 0; });
-}
-
-void TaskScheduler::ParallelFor(size_t n,
-                                const std::function<void(int, size_t)>& fn) {
-  if (n == 0) return;
-  auto cursor = std::make_shared<std::atomic<size_t>>(0);
-  size_t tasks = static_cast<size_t>(num_threads()) < n
-                     ? static_cast<size_t>(num_threads())
-                     : n;
-  for (size_t t = 0; t < tasks; ++t) {
-    Submit([cursor, n, &fn](int worker_id) {
-      for (size_t i = cursor->fetch_add(1, std::memory_order_relaxed); i < n;
-           i = cursor->fetch_add(1, std::memory_order_relaxed)) {
-        fn(worker_id, i);
-      }
-    });
+void TaskScheduler::RunTask(std::unique_lock<std::mutex>& lock, Task task,
+                            int worker_id) {
+  lock.unlock();
+  std::string error;
+  ++tls_task_depth;
+  try {
+    task(worker_id);
+  } catch (const std::exception& e) {
+    error = e.what();
+    if (error.empty()) error = "task failed with an empty message";
+  } catch (...) {
+    error = "task failed with a non-standard exception";
   }
-  Wait();
+  --tls_task_depth;
+  task = Task();  // release captured state (run memory) outside the lock
+  lock.lock();
+  if (!error.empty() && first_error_.ok()) {
+    first_error_ = Status::RuntimeError(std::move(error));
+  }
+  --outstanding_;
+  cv_.notify_all();
+}
+
+Status TaskScheduler::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool from_worker = tls_scheduler == this;
+  for (;;) {
+    if (from_worker && !queue_.empty()) {
+      Task task = std::move(queue_.front());
+      queue_.pop_front();
+      RunTask(lock, std::move(task), tls_worker_id);
+      continue;
+    }
+    // Done when every outstanding task is an enclosing frame of a blocked
+    // Wait() — either ours (`own`) or another worker's (blocked_depth_).
+    // Such frames cannot produce further work until Wait() returns, and
+    // counting them as pending would deadlock nested/concurrent waits.
+    const size_t own = from_worker ? tls_task_depth : 0;
+    if (outstanding_ == blocked_depth_ + own) break;
+    blocked_depth_ += own;
+    cv_.wait(lock);
+    blocked_depth_ -= own;
+  }
+  Status error = std::move(first_error_);
+  first_error_ = Status();
+  return error;
+}
+
+Status TaskScheduler::ParallelFor(size_t n,
+                                  std::function<void(int, size_t)> fn) {
+  if (n == 0) return Status::Ok();
+  auto st = std::make_shared<ForState>();
+  st->fn = std::move(fn);
+  st->n = n;
+  const size_t tasks = std::min(static_cast<size_t>(num_threads()), n);
+
+  // The group task claims indices until the cursor is exhausted or the
+  // group failed. It records its error into the group (never into the
+  // pool-wide slot) and signs off on the group's pending count itself, so
+  // the caller can return as soon as the loop body is done everywhere.
+  auto body = [this, st](int worker_id) {
+    std::string error;
+    try {
+      for (size_t i = st->cursor.fetch_add(1, std::memory_order_relaxed);
+           i < st->n && !st->failed.load(std::memory_order_relaxed);
+           i = st->cursor.fetch_add(1, std::memory_order_relaxed)) {
+        st->fn(worker_id, i);
+      }
+    } catch (const std::exception& e) {
+      error = e.what();
+      if (error.empty()) error = "ParallelFor body failed with empty message";
+      st->failed.store(true, std::memory_order_relaxed);
+    } catch (...) {
+      error = "ParallelFor body failed with a non-standard exception";
+      st->failed.store(true, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> group_lock(mutex_);
+    if (!error.empty() && st->error.ok()) {
+      st->error = Status::RuntimeError(std::move(error));
+    }
+    if (--st->pending == 0) cv_.notify_all();
+  };
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool from_worker = tls_scheduler == this;
+  st->pending = tasks;
+  for (size_t t = 0; t < tasks; ++t) {
+    ++outstanding_;
+    queue_.push_back(body);
+  }
+  cv_.notify_all();
+  while (st->pending != 0) {
+    if (from_worker && !queue_.empty()) {
+      // Help drain: run any queued task (ours or unrelated) so progress is
+      // guaranteed even when every worker is blocked in a nested join.
+      Task task = std::move(queue_.front());
+      queue_.pop_front();
+      RunTask(lock, std::move(task), tls_worker_id);
+      continue;
+    }
+    cv_.wait(lock);
+  }
+  return std::move(st->error);
 }
 
 void TaskScheduler::WorkerLoop(int worker_id) {
-  while (true) {
-    Task task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    task(worker_id);
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (--outstanding_ == 0) idle_.notify_all();
-    }
+  tls_scheduler = this;
+  tls_worker_id = worker_id;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // shutdown and fully drained
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    RunTask(lock, std::move(task), worker_id);
   }
 }
 

@@ -12,6 +12,17 @@
 // (the child buckets) instead of waiting on them, and the initiating
 // thread waits only once for global quiescence. This keeps every pool
 // thread running morsels rather than parked on join barriers.
+//
+// Error propagation: a task that throws does not terminate the process.
+// The worker catches the exception, records the first error as a Status,
+// and keeps the outstanding-task accounting correct, so Wait() returns
+// the error instead of hanging. ParallelFor captures errors per call and
+// never pollutes the pool-wide error slot.
+//
+// Nesting: Wait() and ParallelFor may be called from inside a running
+// task. A blocked worker-side caller helps drain the queue instead of
+// parking, so a bucket task that fans out sub-tasks and joins them cannot
+// deadlock the pool — even with a single worker thread.
 
 #ifndef CEA_EXEC_TASK_SCHEDULER_H_
 #define CEA_EXEC_TASK_SCHEDULER_H_
@@ -25,15 +36,23 @@
 #include <thread>
 #include <vector>
 
+#include "cea/common/status.h"
+
 namespace cea {
 
 class TaskScheduler {
  public:
   // A task receives the id of the worker executing it ([0, num_threads)),
   // which indexes per-thread contexts (hash tables, SWC buffers, run sets).
+  // A task that throws is caught by the scheduler; the first error is
+  // reported by the next Wait().
   using Task = std::function<void(int worker_id)>;
 
   explicit TaskScheduler(int num_threads);
+
+  // Drains the queue (all queued tasks still run, including tasks they
+  // submit transitively) and joins the workers. Errors raised by tasks
+  // during the drain are swallowed — call Wait() first to observe them.
   ~TaskScheduler();
 
   TaskScheduler(const TaskScheduler&) = delete;
@@ -43,26 +62,40 @@ class TaskScheduler {
   // scheduling of child buckets) or from outside the pool.
   void Submit(Task task);
 
-  // Blocks the calling (non-worker) thread until every submitted task —
-  // including tasks submitted by running tasks — has finished.
-  void Wait();
+  // Blocks until every submitted task — including tasks submitted by
+  // running tasks — has finished, then returns the first error any task
+  // raised since the previous Wait() (and clears it). Callable from
+  // inside a task: the caller helps drain the queue while it waits, and
+  // tasks that are themselves blocked in Wait() do not count as pending
+  // (two tasks waiting on each other would otherwise deadlock).
+  Status Wait();
 
   // Runs fn(worker_id, index) for every index in [0, n), distributing
-  // indices over the pool via an atomic cursor. Blocks until done. Must be
-  // called from outside the pool (it waits), and only while no other tasks
-  // are in flight.
-  void ParallelFor(size_t n, const std::function<void(int, size_t)>& fn);
+  // indices over the pool via an atomic cursor, and blocks until all
+  // indices ran. Returns the first error fn raised in this call (further
+  // indices are skipped once an error occurred); the pool-wide error slot
+  // read by Wait() is not touched. Callable from inside a task: the
+  // caller helps drain the queue, so nested ParallelFor cannot deadlock.
+  Status ParallelFor(size_t n, std::function<void(int, size_t)> fn);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
+  struct ForState;
+
   void WorkerLoop(int worker_id);
+  // Pops nothing itself: runs `task` with mutex_ released (catching and
+  // recording errors), then re-acquires mutex_, decrements outstanding_
+  // and wakes waiters. `lock` must be held on entry and is held on exit.
+  void RunTask(std::unique_lock<std::mutex>& lock, Task task, int worker_id);
 
   std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
+  std::condition_variable cv_;  // queue activity and task completion
   std::deque<Task> queue_;
-  size_t outstanding_ = 0;  // queued + running tasks, guarded by mutex_
+  size_t outstanding_ = 0;     // queued + running tasks, guarded by mutex_
+  size_t blocked_depth_ = 0;   // enclosing-task frames of workers blocked in
+                               // Wait(), guarded by mutex_
+  Status first_error_;         // first task error since last Wait()
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

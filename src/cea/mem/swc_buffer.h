@@ -31,8 +31,11 @@ class SwcWriter {
   SwcWriter(const SwcWriter&) = delete;
   SwcWriter& operator=(const SwcWriter&) = delete;
 
-  // Binds partition p to its destination array. Must be called for every
-  // partition that will receive appends; rebinding requires a Flush first.
+  // Binds partition p to its destination array. Contract: every partition
+  // that will receive appends must be bound first — Append on an unbound
+  // partition is undefined (it dereferences the destination when a line
+  // fills). Rebinding requires a Flush first so no buffered values leak
+  // into the new destination.
   void SetDest(uint32_t p, ChunkedArray* dest) {
     CEA_DCHECK(p < kFanOut);
     CEA_DCHECK(counts_[p] == 0);
@@ -40,8 +43,12 @@ class SwcWriter {
   }
 
   // Buffers v for partition p; flushes a full line with a streaming store.
+  // The bind invariant (SetDest before the first Append) is checked here
+  // in debug builds — in release an unbound partition would segfault only
+  // when its line fills, far from the missing SetDest.
   void Append(uint32_t p, uint64_t v) {
     CEA_DCHECK(p < kFanOut);
+    CEA_DCHECK(dests_[p] != nullptr);
     uint8_t c = counts_[p];
     lines_[p].v[c] = v;
     if (++c == ChunkedArray::kLineElems) {
@@ -49,6 +56,14 @@ class SwcWriter {
       c = 0;
     }
     counts_[p] = c;
+  }
+
+  // Drops all buffered values and destination bindings without writing
+  // anything. Only for error recovery: after an aborted pass the partial
+  // lines are garbage and the dests point into freed runs.
+  void Reset() {
+    counts_.fill(0);
+    dests_.fill(nullptr);
   }
 
   // Drains all partial lines with scalar appends and publishes the

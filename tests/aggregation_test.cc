@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -10,6 +13,7 @@
 #include "cea/common/random.h"
 #include "cea/datagen/generators.h"
 #include "cea/hash/murmur.h"
+#include "cea/hash/radix.h"
 #include "test_util.h"
 
 namespace cea {
@@ -350,6 +354,110 @@ TEST(Aggregation, SumOverflowWrapsLikeUint64) {
   input.values = {values.data()};
   input.num_rows = keys.size();
   ExpectMatchesReference({{AggFn::kSum, 0}}, input, TinyCacheOptions());
+}
+
+TEST(Aggregation, AdversarialSameBlockKeys) {
+  // Distinct keys that all land in one level-0 radix block. A
+  // minimum-size table has blocks of 2 slots, so InsertKeys hits a block
+  // overflow in the middle of its out-of-order 16-blocks — the resume
+  // path must hand back exactly the consumed prefix (regression guard for
+  // the mid-16-block kFull handling in PassContext::InsertKeys).
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 1; keys.size() < 2000; ++k) {
+    if (RadixDigit(MurmurHash64(k), 0) == 5) keys.push_back(k);
+  }
+  for (int r = 0; r < 2; ++r) {  // repeats so early aggregation matters
+    for (size_t i = 0; i < 700; ++i) keys.push_back(keys[i]);
+  }
+  Column values = GenerateValues(keys.size(), 13);
+  InputTable input;
+  input.keys = keys.data();
+  input.values = {values.data()};
+  input.num_rows = keys.size();
+  AggregationOptions options = TinyCacheOptions(2, /*table_bytes=*/1);
+  ExpectMatchesReference({{AggFn::kCount, -1}, {AggFn::kMax, 0}}, input,
+                         options);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: a throwing pass task must surface as a Status, not as
+// std::terminate or a hung Wait, and the operator must stay usable.
+
+TEST(Aggregation, InjectedFaultPropagatesStatus) {
+  GenParams gp;
+  gp.n = 50000;
+  gp.k = 5000;
+  Column keys = GenerateKeys(gp);
+  InputTable input;
+  input.keys = keys.data();
+  input.num_rows = keys.size();
+
+  AggregationOptions options = TinyCacheOptions(4);
+  options.fault_hook = [](int level) {
+    throw std::runtime_error("injected pass failure");
+  };
+  AggregationOperator op({{AggFn::kCount, -1}}, options);
+  ResultTable result;
+  Status s = op.Execute(input, &result);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("injected pass failure"), std::string::npos);
+}
+
+TEST(Aggregation, OperatorRecoversAfterInjectedFault) {
+  GenParams gp;
+  gp.n = 40000;
+  gp.k = 3000;
+  Column keys = GenerateKeys(gp);
+  Column values = GenerateValues(gp.n, 21);
+  InputTable input;
+  input.keys = keys.data();
+  input.values = {values.data()};
+  input.num_rows = keys.size();
+
+  // Arm the hook for the first Execute only; the second must succeed and
+  // match the reference bit for bit (no partial state leaks across the
+  // failed run).
+  auto armed = std::make_shared<std::atomic<bool>>(true);
+  AggregationOptions options = TinyCacheOptions(4);
+  options.fault_hook = [armed](int level) {
+    if (armed->load()) throw std::runtime_error("first run fails");
+  };
+  std::vector<AggregateSpec> specs = {{AggFn::kSum, 0}, {AggFn::kCount, -1}};
+  AggregationOperator op(specs, options);
+
+  ResultTable result;
+  ASSERT_FALSE(op.Execute(input, &result).ok());
+
+  armed->store(false);
+  ResultTable got;
+  ASSERT_TRUE(op.Execute(input, &got).ok());
+  ResultTable expect = ReferenceAggregate(input, specs);
+  SortResultByKey(&got);
+  ASSERT_EQ(got.keys, expect.keys);
+  ASSERT_EQ(got.aggregates[0].u64, expect.aggregates[0].u64);
+  ASSERT_EQ(got.aggregates[1].u64, expect.aggregates[1].u64);
+}
+
+TEST(Aggregation, InjectedFaultAtDeepLevelAbortsCleanly) {
+  // Fail only below the root so the error surfaces mid-recursion, with
+  // sibling buckets still in flight.
+  GenParams gp;
+  gp.n = 60000;
+  gp.k = 60000;  // high cardinality forces recursion with a tiny table
+  Column keys = GenerateKeys(gp);
+  InputTable input;
+  input.keys = keys.data();
+  input.num_rows = keys.size();
+
+  AggregationOptions options = TinyCacheOptions(4, /*table_bytes=*/1 << 14);
+  options.fault_hook = [](int level) {
+    if (level >= 1) throw std::runtime_error("deep pass failure");
+  };
+  AggregationOperator op({{AggFn::kCount, -1}}, options);
+  ResultTable result;
+  Status s = op.Execute(input, &result);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("deep pass failure"), std::string::npos);
 }
 
 }  // namespace

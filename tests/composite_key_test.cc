@@ -9,6 +9,7 @@
 #include "cea/common/random.h"
 #include "cea/datagen/generators.h"
 #include "cea/hash/key_hash.h"
+#include "cea/hash/radix.h"
 #include "test_util.h"
 
 namespace cea {
@@ -179,6 +180,37 @@ TEST(CompositeKey, AllPoliciesAgree) {
     ExpectMatchesReference({{AggFn::kMax, 0}, {AggFn::kAvg, 0}}, input,
                            options);
   }
+}
+
+TEST(CompositeKey, AdversarialSameBlockKeysMatchReference) {
+  // Distinct 2-word keys that all hash into one level-0 radix block. With
+  // a minimum-size table (blocks of 2 slots) the composite FindOrInsert
+  // overflows its block every third distinct key, so this drives the
+  // kFull mid-morsel resume in PassContext::InsertKeys through the
+  // composite-key path — previously only single-key covered (regression
+  // guard for the block-overflow return in blocked_hash_table.h).
+  const size_t distinct = 600;
+  Column k0, k1;
+  uint64_t key[2] = {7, 0};
+  for (uint64_t w = 1; k0.size() < distinct; ++w) {
+    key[1] = w;
+    if (RadixDigit(HashKey(key, 2), 0) == 11) {
+      k0.push_back(7);
+      k1.push_back(w);
+    }
+  }
+  // Duplicate the keys so early aggregation happens too.
+  for (size_t i = 0; i < distinct; ++i) {
+    k0.push_back(7);
+    k1.push_back(k1[i]);
+  }
+  Column values = GenerateValues(k0.size(), 77);
+  InputTable input = InputTable::FromKeyColumns({&k0, &k1}, {&values});
+
+  AggregationOptions options = TinyCacheOptions(/*threads=*/3,
+                                                /*table_bytes=*/1);
+  ExpectMatchesReference({{AggFn::kSum, 0}, {AggFn::kCount, -1}}, input,
+                         options);
 }
 
 }  // namespace

@@ -1,11 +1,15 @@
-// Randomized end-to-end tests: for a sequence of seeds, draw a random
+// Randomized differential tests: for a sequence of seeds, draw a random
 // configuration (input size, key distribution, key width, aggregate list,
-// thread count, table size, policy, adaptive constants) and check the
-// operator against the scalar reference. Complements the structured
-// sweeps with configuration combinations nobody thought to write down.
+// thread count, table budget and fill cap, cardinality hint, policy,
+// adaptive constants) and check the operator against the scalar
+// reference. Complements the structured sweeps with configuration
+// combinations nobody thought to write down. A second suite streams the
+// same kind of random case through the push-based interface in random
+// batch splits (including empty batches).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -16,14 +20,24 @@
 namespace cea {
 namespace {
 
-class OperatorFuzz : public ::testing::TestWithParam<uint64_t> {};
+// A self-contained random case: the columns own the data the InputTable
+// points into, so keep the struct alive while using `input`.
+struct FuzzCase {
+  std::vector<Column> keys;
+  std::vector<Column> values;
+  std::vector<AggregateSpec> specs;
+  AggregationOptions options;
+  InputTable input;
+  std::string trace;
+};
 
-TEST_P(OperatorFuzz, RandomConfigMatchesReference) {
-  Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 1);
+FuzzCase MakeFuzzCase(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  FuzzCase fc;
 
   // Input shape.
   const size_t n = 1 + rng.NextBounded(60000);
-  const int key_cols = 1 + static_cast<int>(rng.NextBounded(3));
+  const int key_cols = 1 + static_cast<int>(rng.NextBounded(5));
   GenParams gp;
   gp.n = n;
   gp.k = 1 + rng.NextBounded(n);
@@ -31,34 +45,36 @@ TEST_P(OperatorFuzz, RandomConfigMatchesReference) {
   gp.dist = dists[rng.NextBounded(dists.size())];
   gp.seed = rng.Next();
 
-  std::vector<Column> keys(key_cols);
-  keys[0] = GenerateKeys(gp);
+  fc.keys.resize(key_cols);
+  fc.keys[0] = GenerateKeys(gp);
   for (int c = 1; c < key_cols; ++c) {
-    keys[c].resize(n);
+    fc.keys[c].resize(n);
     // Low-cardinality secondary columns so composites repeat.
-    for (auto& v : keys[c]) v = rng.NextBounded(1 + rng.NextBounded(16));
+    for (auto& v : fc.keys[c]) v = rng.NextBounded(1 + rng.NextBounded(16));
   }
 
-  // Aggregates: 0..4 random functions over 0..2 value columns.
-  const int num_values = 1 + static_cast<int>(rng.NextBounded(2));
-  std::vector<Column> values(num_values);
-  for (auto& col : values) col = GenerateValues(n, rng.Next());
+  // Aggregates: 0..5 random functions over 1..3 value columns.
+  const int num_values = 1 + static_cast<int>(rng.NextBounded(3));
+  fc.values.resize(num_values);
+  for (auto& col : fc.values) col = GenerateValues(n, rng.Next());
   const AggFn fns[] = {AggFn::kCount, AggFn::kSum, AggFn::kMin, AggFn::kMax,
                        AggFn::kAvg};
-  std::vector<AggregateSpec> specs;
-  const int num_specs = static_cast<int>(rng.NextBounded(5));
+  const int num_specs = static_cast<int>(rng.NextBounded(6));
   for (int s = 0; s < num_specs; ++s) {
     AggFn fn = fns[rng.NextBounded(5)];
-    specs.push_back(
+    fc.specs.push_back(
         {fn, NeedsInput(fn) ? static_cast<int>(rng.NextBounded(num_values))
                             : -1});
   }
 
-  // Operator configuration.
-  AggregationOptions options;
-  options.num_threads = 1 + static_cast<int>(rng.NextBounded(6));
-  options.table_bytes = size_t{1} << (13 + rng.NextBounded(8));  // 8K..1M
-  options.morsel_rows = size_t{1} << (10 + rng.NextBounded(7));
+  // Operator configuration. Table budgets go down to a single byte, which
+  // clamps to the minimum table and forces block overflows and deep
+  // recursion; fill caps sweep 0.1..0.9.
+  AggregationOptions& options = fc.options;
+  options.num_threads = 1 + static_cast<int>(rng.NextBounded(8));
+  options.table_bytes = size_t{1} << rng.NextBounded(21);  // 1B..1M
+  options.table_max_fill = 0.1 + 0.8 * rng.NextDouble();
+  options.morsel_rows = size_t{1} << (8 + rng.NextBounded(9));
   switch (rng.NextBounded(3)) {
     case 0:
       options.policy = AggregationOptions::PolicyKind::kAdaptive;
@@ -73,26 +89,105 @@ TEST_P(OperatorFuzz, RandomConfigMatchesReference) {
       options.partition_passes = 1 + static_cast<int>(rng.NextBounded(3));
       break;
   }
-  if (rng.NextBounded(2) == 0) options.k_hint = gp.k;
-
-  InputTable input;
-  input.keys = keys[0].data();
-  for (int c = 1; c < key_cols; ++c) {
-    input.extra_keys.push_back(keys[c].data());
+  // Cardinality hint: absent, truthful, or a lie (hints are advisory and
+  // must never change the result).
+  switch (rng.NextBounded(3)) {
+    case 0:
+      break;
+    case 1:
+      options.k_hint = gp.k;
+      break;
+    default:
+      options.k_hint = 1 + rng.NextBounded(2 * n);
+      break;
   }
-  for (const Column& col : values) input.values.push_back(col.data());
-  input.num_rows = n;
 
-  SCOPED_TRACE("seed=" + std::to_string(GetParam()) +
-               " n=" + std::to_string(n) + " k=" + std::to_string(gp.k) +
-               " dist=" + DistributionName(gp.dist) +
-               " key_cols=" + std::to_string(key_cols) +
-               " specs=" + std::to_string(specs.size()) +
-               " threads=" + std::to_string(options.num_threads));
-  ExpectMatchesReference(specs, input, options);
+  fc.input.keys = fc.keys[0].data();
+  for (int c = 1; c < key_cols; ++c) {
+    fc.input.extra_keys.push_back(fc.keys[c].data());
+  }
+  for (const Column& col : fc.values) fc.input.values.push_back(col.data());
+  fc.input.num_rows = n;
+
+  fc.trace = "seed=" + std::to_string(seed) + " n=" + std::to_string(n) +
+             " k=" + std::to_string(gp.k) +
+             " dist=" + DistributionName(gp.dist) +
+             " key_cols=" + std::to_string(key_cols) +
+             " specs=" + std::to_string(fc.specs.size()) +
+             " threads=" + std::to_string(options.num_threads) +
+             " table_bytes=" + std::to_string(options.table_bytes) +
+             " fill=" + std::to_string(options.table_max_fill) +
+             " k_hint=" + std::to_string(options.k_hint);
+  return fc;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, OperatorFuzz, ::testing::Range<uint64_t>(0, 32),
+class OperatorFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OperatorFuzz, RandomConfigMatchesReference) {
+  FuzzCase fc = MakeFuzzCase(GetParam());
+  SCOPED_TRACE(fc.trace);
+  ExpectMatchesReference(fc.specs, fc.input, fc.options);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OperatorFuzz,
+                         ::testing::Range<uint64_t>(0, 128),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+class StreamingFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StreamingFuzz, RandomBatchSplitsMatchReference) {
+  // Distinct case space from OperatorFuzz (offset seed), plus a random
+  // batch partition of the rows — with occasional empty batches.
+  FuzzCase fc = MakeFuzzCase(GetParam() + 1000);
+  SCOPED_TRACE(fc.trace);
+  Rng rng(GetParam() * 0xc2b2ae3d27d4eb4fULL + 7);
+
+  const size_t n = fc.input.num_rows;
+  const int key_cols = static_cast<int>(fc.keys.size());
+  AggregationOperator op(fc.specs, fc.options);
+  ASSERT_TRUE(op.BeginStream(key_cols).ok());
+
+  size_t off = 0;
+  int empties = 0;
+  while (off < n) {
+    size_t len;
+    if (empties < 3 && rng.NextBounded(4) == 0) {
+      len = 0;  // empty batches must be accepted and change nothing
+      ++empties;
+    } else {
+      len = 1 + rng.NextBounded(n - off);
+    }
+    // Copy into scratch buffers that die after the call: ConsumeBatch
+    // must not retain pointers into the batch.
+    std::vector<Column> kbuf(key_cols), vbuf(fc.values.size());
+    InputTable batch;
+    for (int c = 0; c < key_cols; ++c) {
+      kbuf[c].assign(fc.keys[c].begin() + off, fc.keys[c].begin() + off + len);
+    }
+    for (size_t v = 0; v < fc.values.size(); ++v) {
+      vbuf[v].assign(fc.values[v].begin() + off,
+                     fc.values[v].begin() + off + len);
+    }
+    batch.keys = kbuf[0].data();
+    for (int c = 1; c < key_cols; ++c) {
+      batch.extra_keys.push_back(kbuf[c].data());
+    }
+    for (const Column& col : vbuf) batch.values.push_back(col.data());
+    batch.num_rows = len;
+    ASSERT_TRUE(op.ConsumeBatch(batch).ok()) << "offset " << off;
+    off += len;
+  }
+
+  ResultTable got;
+  ASSERT_TRUE(op.FinishStream(&got).ok());
+  ResultTable expect = ReferenceAggregate(fc.input, fc.specs);
+  ExpectResultsMatch(&got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingFuzz,
+                         ::testing::Range<uint64_t>(0, 32),
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            return "seed" + std::to_string(info.param);
                          });

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "cea/exec/task_scheduler.h"
@@ -116,6 +119,200 @@ TEST(Scheduler, DestructorDrainsCleanly) {
     pool.Wait();
   }
   EXPECT_EQ(count.load(), 10);
+}
+
+TEST(Scheduler, ThrowingTaskPropagatesStatus) {
+  TaskScheduler pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count, i](int) {
+      if (i == 37) throw std::runtime_error("task 37 exploded");
+      count.fetch_add(1);
+    });
+  }
+  Status s = pool.Wait();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("task 37 exploded"), std::string::npos);
+  // The other tasks still ran; the error did not wedge the pool.
+  EXPECT_EQ(count.load(), 99);
+  // The error was consumed by Wait(): the pool is reusable and clean.
+  pool.Submit([&count](int) { count.fetch_add(1); });
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Scheduler, FirstOfSeveralErrorsIsReported) {
+  TaskScheduler pool(1);  // single worker => deterministic order
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit([i](int) {
+      throw std::runtime_error("error #" + std::to_string(i));
+    });
+  }
+  Status s = pool.Wait();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("error #0"), std::string::npos);
+}
+
+TEST(Scheduler, NonStandardExceptionIsCaptured) {
+  TaskScheduler pool(2);
+  pool.Submit([](int) { throw 42; });  // not a std::exception
+  Status s = pool.Wait();
+  ASSERT_FALSE(s.ok());
+  EXPECT_FALSE(s.message().empty());
+}
+
+TEST(Scheduler, ParallelForPropagatesFnError) {
+  TaskScheduler pool(4);
+  std::atomic<int> ran{0};
+  Status s = pool.ParallelFor(1000, [&](int, size_t i) {
+    if (i == 500) throw std::runtime_error("index 500 failed");
+    ran.fetch_add(1);
+  });
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("index 500 failed"), std::string::npos);
+  // ParallelFor errors stay with the call; the pool-wide slot is clean.
+  EXPECT_TRUE(pool.Wait().ok());
+  // Later indices are skipped once the error is seen, so not all 999
+  // siblings need to have run — but none may still be running.
+  EXPECT_LE(ran.load(), 999);
+}
+
+TEST(Scheduler, NestedParallelForFromWorker) {
+  // A worker task joining a nested ParallelFor must help drain the queue
+  // instead of deadlocking the (small) pool.
+  TaskScheduler pool(2);
+  std::atomic<int> total{0};
+  Status s = pool.ParallelFor(4, [&](int, size_t) {
+    EXPECT_TRUE(pool.ParallelFor(8, [&](int, size_t) {
+      total.fetch_add(1);
+    }).ok());
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(Scheduler, NestedParallelForSingleThread) {
+  // The degenerate pool: every nested level runs on the lone worker.
+  TaskScheduler pool(1);
+  std::atomic<int> total{0};
+  Status s = pool.ParallelFor(3, [&](int, size_t) {
+    EXPECT_TRUE(pool.ParallelFor(3, [&](int, size_t) {
+      EXPECT_TRUE(pool.ParallelFor(3, [&](int, size_t) {
+        total.fetch_add(1);
+      }).ok());
+    }).ok());
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(total.load(), 27);
+}
+
+TEST(Scheduler, NestedParallelForInnerErrorReachesOuterCaller) {
+  TaskScheduler pool(2);
+  std::atomic<int> inner_failures{0};
+  Status s = pool.ParallelFor(4, [&](int, size_t) {
+    Status inner = pool.ParallelFor(4, [&](int, size_t j) {
+      if (j == 2) throw std::runtime_error("inner failed");
+    });
+    if (!inner.ok()) {
+      inner_failures.fetch_add(1);
+      throw std::runtime_error(inner.message());
+    }
+  });
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("inner failed"), std::string::npos);
+  EXPECT_GE(inner_failures.load(), 1);
+  EXPECT_TRUE(pool.Wait().ok());
+}
+
+TEST(Scheduler, WaitFromWorkerHelpsDrain) {
+  // A task that submits subtasks and then joins them via Wait() from
+  // inside the pool. All subtasks must have finished when Wait() returns.
+  TaskScheduler pool(2);
+  std::atomic<int> done{0};
+  std::atomic<bool> all_done_at_return{false};
+  pool.Submit([&](int) {
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&done](int) { done.fetch_add(1); });
+    }
+    EXPECT_TRUE(pool.Wait().ok());
+    all_done_at_return.store(done.load() == 64);
+  });
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_EQ(done.load(), 64);
+  EXPECT_TRUE(all_done_at_return.load());
+}
+
+TEST(Scheduler, ThrowingSubtaskSurfacesInWorkerSideWait) {
+  TaskScheduler pool(2);
+  std::atomic<bool> saw_error{false};
+  pool.Submit([&](int) {
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([i](int) {
+        if (i == 3) throw std::runtime_error("subtask failed");
+      });
+    }
+    saw_error.store(!pool.Wait().ok());
+  });
+  // The inner Wait() consumed the error, so the outer one is clean.
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_TRUE(saw_error.load());
+}
+
+TEST(Scheduler, DestructorRunsQueuedWork) {
+  // Shutdown with queued work: the destructor drains the queue, it does
+  // not drop tasks on the floor.
+  std::atomic<int> count{0};
+  {
+    TaskScheduler pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&count](int) { count.fetch_add(1); });
+    }
+    // No Wait(): destruct with most tasks still queued.
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(Scheduler, DestructorSurvivesThrowingQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    TaskScheduler pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count, i](int) {
+        if (i % 7 == 0) throw std::runtime_error("boom");
+        count.fetch_add(1);
+      });
+    }
+    // Destructor must swallow the errors, run the rest, and not terminate.
+  }
+  EXPECT_EQ(count.load(), 42);  // 50 minus the 8 multiples of 7 below 50
+}
+
+TEST(Scheduler, StressTreeSpawnWithFailingLeaves) {
+  // Deterministic stress: tasks fan out a tree of subtasks, some leaves
+  // throw, and each round must still account for every task and report an
+  // error exactly when a leaf failed. Exercises concurrent Submit +
+  // help-draining + error capture across repeated rounds on one pool.
+  TaskScheduler pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> leaves{0};
+    bool inject = (round % 2 == 0);
+    std::function<void(int, int)> spawn = [&](int depth, int path) {
+      if (depth == 0) {
+        leaves.fetch_add(1);
+        if (inject && path == 0) throw std::runtime_error("leaf failed");
+        return;
+      }
+      for (int c = 0; c < 3; ++c) {
+        pool.Submit([&spawn, depth, path, c](int) {
+          spawn(depth - 1, path * 3 + c);
+        });
+      }
+    };
+    pool.Submit([&spawn](int) { spawn(4, 0); });
+    Status s = pool.Wait();
+    ASSERT_EQ(leaves.load(), 81) << "round " << round;
+    ASSERT_EQ(s.ok(), !inject) << "round " << round;
+  }
 }
 
 }  // namespace

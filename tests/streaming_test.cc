@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "cea/common/random.h"
@@ -156,6 +159,42 @@ TEST(Streaming, MixesWithExecute) {
   ResultTable r2;
   ASSERT_TRUE(op.FinishStream(&r2).ok());
   EXPECT_EQ(r2.num_groups(), 2u);
+}
+
+TEST(Streaming, InjectedFaultInFinishPropagatesAndStreamRecovers) {
+  // High cardinality with a tiny table makes FinishStream recurse into
+  // scheduled bucket tasks; a fault injected at level >= 1 must surface
+  // as a Status (not terminate / hang), and a fresh stream on the same
+  // operator must then work.
+  GenParams gp;
+  gp.n = 50000;
+  gp.k = 50000;
+  Column keys = GenerateKeys(gp);
+  Column values = GenerateValues(gp.n, 31);
+
+  auto armed = std::make_shared<std::atomic<bool>>(true);
+  AggregationOptions options = TinyCacheOptions(2, /*table_bytes=*/1 << 14);
+  options.fault_hook = [armed](int level) {
+    if (armed->load() && level >= 1) {
+      throw std::runtime_error("injected finish failure");
+    }
+  };
+  AggregationOperator op({{AggFn::kSum, 0}}, options);
+
+  ASSERT_TRUE(op.BeginStream(1).ok());
+  InputTable batch;
+  batch.keys = keys.data();
+  batch.values = {values.data()};
+  batch.num_rows = keys.size();
+  ASSERT_TRUE(op.ConsumeBatch(batch).ok());
+  ResultTable result;
+  Status s = op.FinishStream(&result);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("injected finish failure"), std::string::npos);
+
+  // The operator recovered: stream again, disarm the hook, and compare.
+  armed->store(false);
+  StreamAndCompare(keys, values, /*batch_rows=*/7777, options);
 }
 
 }  // namespace

@@ -3,11 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <map>
 #include <set>
 #include <vector>
 
 #include "cea/common/random.h"
+#include "cea/hash/key_hash.h"
 #include "cea/hash/murmur.h"
 #include "cea/hash/radix.h"
 #include "cea/mem/chunked_array.h"
@@ -198,6 +200,80 @@ TEST(GrowableTable, IdempotentInsert) {
   size_t s2 = table.FindOrInsert(42);
   EXPECT_EQ(s1, s2);
   EXPECT_EQ(table.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Block-overflow regression tests: kFull from a full *block*, not from the
+// global fill cap. Only reachable with tiny blocks and keys that collide
+// on their radix digit, so both paths were previously untested.
+
+// Finds `count` distinct keys whose hash lands in radix block `block` at
+// `level` (brute force, ~256 tries per key).
+std::vector<uint64_t> KeysInBlock(uint32_t block, int level, size_t count) {
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 1; keys.size() < count; ++k) {
+    if (RadixDigit(MurmurHash64(k), level) == block) keys.push_back(k);
+  }
+  return keys;
+}
+
+TEST(BlockedTable, BlockOverflowReturnsKFullBeforeFillCap) {
+  // Minimum-capacity table: 512 slots in 256 blocks of 2. Three distinct
+  // keys in one block overflow it long before the global fill cap of 128
+  // slots is reached.
+  StateLayout layout = CountLayout();
+  BlockedOpenHashTable table(1, layout, 0.25);
+  ASSERT_EQ(table.capacity(), 2 * kFanOut);
+  ASSERT_EQ(table.block_capacity(), 2u);
+  std::vector<uint64_t> keys = KeysInBlock(/*block=*/7, /*level=*/0, 3);
+  uint32_t s0 = table.FindOrInsert(keys[0], MurmurHash64(keys[0]), 0);
+  uint32_t s1 = table.FindOrInsert(keys[1], MurmurHash64(keys[1]), 0);
+  ASSERT_NE(s0, BlockedOpenHashTable::kFull);
+  ASSERT_NE(s1, BlockedOpenHashTable::kFull);
+  EXPECT_EQ(table.FindOrInsert(keys[2], MurmurHash64(keys[2]), 0),
+            BlockedOpenHashTable::kFull);
+  EXPECT_LT(table.fill(), table.max_fill_slots());  // not the fill cap
+
+  // The overflow disturbs neither resident keys nor other blocks.
+  EXPECT_EQ(table.FindOrInsert(keys[0], MurmurHash64(keys[0]), 0), s0);
+  EXPECT_EQ(table.FindOrInsert(keys[1], MurmurHash64(keys[1]), 0), s1);
+  uint64_t other = KeysInBlock(/*block=*/8, /*level=*/0, 1)[0];
+  EXPECT_NE(table.FindOrInsert(other, MurmurHash64(other), 0),
+            BlockedOpenHashTable::kFull);
+
+  // Split + Clear — what PassContext does on kFull — makes room again.
+  std::vector<ChunkedArray> kcols(1);
+  std::vector<ChunkedArray> states(1);
+  EXPECT_EQ(table.EmitBlock(7, &kcols, &states), 2u);
+  table.Clear();
+  EXPECT_NE(table.FindOrInsert(keys[2], MurmurHash64(keys[2]), 0),
+            BlockedOpenHashTable::kFull);
+}
+
+TEST(BlockedTable, CompositeKeyBlockOverflowReturnsKFull) {
+  // Same scenario through the multi-word FindOrInsert: brute-force the
+  // second key word until the composite hash lands in the target block.
+  StateLayout layout = CountLayout();
+  BlockedOpenHashTable table(1, /*key_words=*/2, layout, 0.25);
+  ASSERT_EQ(table.block_capacity(), 2u);
+  std::vector<std::array<uint64_t, 2>> keys;
+  for (uint64_t w = 1; keys.size() < 3; ++w) {
+    std::array<uint64_t, 2> key = {42, w};
+    if (RadixDigit(HashKey(key.data(), 2), 0) == 3) keys.push_back(key);
+  }
+  uint32_t s0 =
+      table.FindOrInsert(keys[0].data(), HashKey(keys[0].data(), 2), 0);
+  uint32_t s1 =
+      table.FindOrInsert(keys[1].data(), HashKey(keys[1].data(), 2), 0);
+  ASSERT_NE(s0, BlockedOpenHashTable::kFull);
+  ASSERT_NE(s1, BlockedOpenHashTable::kFull);
+  EXPECT_EQ(table.FindOrInsert(keys[2].data(), HashKey(keys[2].data(), 2), 0),
+            BlockedOpenHashTable::kFull);
+  EXPECT_LT(table.fill(), table.max_fill_slots());
+  EXPECT_EQ(table.FindOrInsert(keys[0].data(), HashKey(keys[0].data(), 2), 0),
+            s0);
+  EXPECT_EQ(table.FindOrInsert(keys[1].data(), HashKey(keys[1].data(), 2), 0),
+            s1);
 }
 
 }  // namespace

@@ -14,20 +14,10 @@
 
 namespace cea {
 
-// Runs the operator and the scalar reference on the same input and expects
-// identical results (keys, aggregates; order-insensitive).
-inline void ExpectMatchesReference(const std::vector<AggregateSpec>& specs,
-                                   const InputTable& input,
-                                   AggregationOptions options,
-                                   ExecStats* stats_out = nullptr) {
-  AggregationOperator op(specs, options);
-  ResultTable got;
-  ExecStats stats;
-  Status s = op.Execute(input, &got, &stats);
-  ASSERT_TRUE(s.ok()) << s.message();
-  if (stats_out != nullptr) *stats_out = stats;
-
-  ResultTable expect = ReferenceAggregate(input, specs);
+// Expects `got` (sorted in place) to equal `expect` (already key-sorted,
+// as ReferenceAggregate returns it); order-insensitive in `got`.
+inline void ExpectResultsMatch(ResultTable* got_in, const ResultTable& expect) {
+  ResultTable& got = *got_in;
   SortResultByKey(&got);
 
   ASSERT_EQ(got.keys.size(), expect.keys.size()) << "group count mismatch";
@@ -50,6 +40,23 @@ inline void ExpectMatchesReference(const std::vector<AggregateSpec>& specs,
       ASSERT_EQ(g.u64, e.u64) << "col " << c;
     }
   }
+}
+
+// Runs the operator and the scalar reference on the same input and expects
+// identical results (keys, aggregates; order-insensitive).
+inline void ExpectMatchesReference(const std::vector<AggregateSpec>& specs,
+                                   const InputTable& input,
+                                   AggregationOptions options,
+                                   ExecStats* stats_out = nullptr) {
+  AggregationOperator op(specs, options);
+  ResultTable got;
+  ExecStats stats;
+  Status s = op.Execute(input, &got, &stats);
+  ASSERT_TRUE(s.ok()) << s.message();
+  if (stats_out != nullptr) *stats_out = stats;
+
+  ResultTable expect = ReferenceAggregate(input, specs);
+  ExpectResultsMatch(&got, expect);
 }
 
 // Small-cache options that force multi-level recursion even on small
