@@ -9,7 +9,7 @@
 //   morsel size      — work-stealing granularity of a pass
 //   table size       — the "cache-sized" budget itself
 //
-// Usage: ablation_knobs [--log_n=21] [--threads=N]
+// Usage: ablation_knobs [--log_n=21] [--threads=N] [--json[=PATH]]
 
 #include <cstdio>
 #include <vector>
@@ -41,47 +41,87 @@ int main(int argc, char** argv) {
   uni.k = n / 4;
   std::vector<uint64_t> uniform_keys = GenerateKeys(uni);
 
-  auto run = [&](const std::vector<uint64_t>& keys,
+  BenchReporter reporter("ablation_knobs", flags);
+
+  // Runs both workloads for one knob setting, emitting a record per
+  // workload in JSON mode and returning the element times for the table.
+  auto run = [&](const std::vector<uint64_t>& keys, const char* workload,
+                 const char* knob, double knob_value,
                  AggregationOptions options) {
     options.num_threads = threads;
-    double sec = TimeAggregation(keys, {}, {}, options, reps);
-    return ElementTimeNs(sec, threads, n, 1);
+    TimingStats timing;
+    double sec = TimeAggregation(keys, {}, {}, options, reps, nullptr,
+                                 nullptr, &timing);
+    double et = ElementTimeNs(sec, threads, n, 1);
+    if (reporter.enabled()) {
+      BenchRecord r;
+      r.Param("knob", knob)
+          .Param("knob_value", knob_value)
+          .Param("workload", workload)
+          .Param("log_n", flags.GetUint("log_n", 21))
+          .Param("threads", threads);
+      r.Metric("element_time_ns", et);
+      r.Timing(timing);
+      reporter.Emit(r);
+    }
+    return et;
+  };
+  auto run_both = [&](const char* knob, double knob_value,
+                      const AggregationOptions& o) {
+    double mid_et = run(mid_keys, "clustered", knob, knob_value, o);
+    double uni_et = run(uniform_keys, "uniform", knob, knob_value, o);
+    return std::make_pair(mid_et, uni_et);
   };
 
-  std::printf("# Ablation sweeps, N=2^%llu, P=%d (element time, ns)\n\n",
-              (unsigned long long)flags.GetUint("log_n", 21), threads);
-
-  std::printf("%-12s %12s %12s\n", "fill cap", "clustered", "uniform");
+  if (!reporter.enabled()) {
+    std::printf("# Ablation sweeps, N=2^%llu, P=%d (element time, ns)\n\n",
+                (unsigned long long)flags.GetUint("log_n", 21), threads);
+    std::printf("%-12s %12s %12s\n", "fill cap", "clustered", "uniform");
+  }
   for (double fill : {0.125, 0.25, 0.5, 0.75}) {
     AggregationOptions o;
     o.table_max_fill = fill;
-    std::printf("%-12.3f %12.2f %12.2f\n", fill, run(mid_keys, o),
-                run(uniform_keys, o));
+    auto [c, u] = run_both("table_max_fill", fill, o);
+    if (!reporter.enabled()) {
+      std::printf("%-12.3f %12.2f %12.2f\n", fill, c, u);
+    }
   }
 
-  std::printf("\n%-12s %12s %12s\n", "alpha0", "clustered", "uniform");
+  if (!reporter.enabled()) {
+    std::printf("\n%-12s %12s %12s\n", "alpha0", "clustered", "uniform");
+  }
   for (double alpha0 : {1.0, 2.0, 4.0, 8.0, 11.0, 16.0, 32.0, 1e9}) {
     AggregationOptions o;
     o.alpha0 = alpha0;
-    std::printf("%-12.0f %12.2f %12.2f\n", alpha0, run(mid_keys, o),
-                run(uniform_keys, o));
+    auto [c, u] = run_both("alpha0", alpha0, o);
+    if (!reporter.enabled()) {
+      std::printf("%-12.0f %12.2f %12.2f\n", alpha0, c, u);
+    }
   }
 
-  std::printf("\n%-12s %12s %12s\n", "morsel", "clustered", "uniform");
+  if (!reporter.enabled()) {
+    std::printf("\n%-12s %12s %12s\n", "morsel", "clustered", "uniform");
+  }
   for (size_t morsel : {size_t{1} << 12, size_t{1} << 14, size_t{1} << 16,
                         size_t{1} << 18}) {
     AggregationOptions o;
     o.morsel_rows = morsel;
-    std::printf("%-12zu %12.2f %12.2f\n", morsel, run(mid_keys, o),
-                run(uniform_keys, o));
+    auto [c, u] = run_both("morsel_rows", static_cast<double>(morsel), o);
+    if (!reporter.enabled()) {
+      std::printf("%-12zu %12.2f %12.2f\n", morsel, c, u);
+    }
   }
 
-  std::printf("\n%-12s %12s %12s\n", "table MiB", "clustered", "uniform");
+  if (!reporter.enabled()) {
+    std::printf("\n%-12s %12s %12s\n", "table MiB", "clustered", "uniform");
+  }
   for (size_t mb : {1, 2, 4, 8, 16}) {
     AggregationOptions o;
     o.table_bytes = mb << 20;
-    std::printf("%-12zu %12.2f %12.2f\n", mb, run(mid_keys, o),
-                run(uniform_keys, o));
+    auto [c, u] = run_both("table_bytes", static_cast<double>(mb << 20), o);
+    if (!reporter.enabled()) {
+      std::printf("%-12zu %12.2f %12.2f\n", mb, c, u);
+    }
   }
   return 0;
 }

@@ -14,21 +14,22 @@
 
 namespace cea::bench {
 
-// Executes the operator once and returns wall seconds; stats out-param
-// receives the telemetry of the last run.
+// Executes the operator `reps` times and returns the median wall seconds;
+// stats/groups out-params receive the telemetry of the last run, timing
+// the full wall-time distribution (median/min/stddev) for JSON records.
 inline double TimeAggregation(const std::vector<uint64_t>& keys,
                               const std::vector<AggregateSpec>& specs,
                               const std::vector<const Column*>& value_cols,
                               AggregationOptions options, int reps,
                               ExecStats* stats = nullptr,
-                              size_t* groups = nullptr) {
+                              size_t* groups = nullptr,
+                              TimingStats* timing = nullptr) {
   AggregationOperator op(specs, options);
   InputTable input;
   input.keys = keys.data();
   input.num_rows = keys.size();
   for (const Column* c : value_cols) input.values.push_back(c->data());
 
-  double best = 0;
   std::vector<double> times;
   for (int r = 0; r < reps; ++r) {
     ResultTable result;
@@ -44,9 +45,9 @@ inline double TimeAggregation(const std::vector<uint64_t>& keys,
     if (groups != nullptr) *groups = result.num_groups();
     DoNotOptimize(result.keys.data());
   }
-  std::sort(times.begin(), times.end());
-  best = times[times.size() / 2];
-  return best;
+  TimingStats t = TimingFromSamples(std::move(times));
+  if (timing != nullptr) *timing = t;
+  return t.median_s;
 }
 
 // The K values of a log-scale sweep.

@@ -1,24 +1,33 @@
 // Shared infrastructure for the figure-reproduction benches.
 //
 // Every bench binary prints the series of one paper figure as an aligned
-// text table. The common metric is the paper's "Element Time"
-// (Section 6.1): T * P / N / C — the time each core spends per processed
-// element — which makes runs with different thread counts and column
-// counts directly comparable.
+// text table, or — with --json — appends one machine-readable JSON record
+// per data point (JSONL) for the BENCH_*.json perf-trajectory tooling.
+// The common metric is the paper's "Element Time" (Section 6.1):
+// T * P / N / C — the time each core spends per processed element — which
+// makes runs with different thread counts and column counts directly
+// comparable.
 
 #ifndef CEA_BENCH_BENCH_UTIL_H_
 #define CEA_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cea/common/flags.h"
+#include "cea/common/machine.h"
+#include "cea/core/stats_io.h"
+#include "cea/obs/json_writer.h"
+#include "cea/obs/perf_counters.h"
 
 namespace cea::bench {
 
@@ -38,9 +47,40 @@ class Timer {
   std::chrono::steady_clock::time_point start_;
 };
 
-// Runs fn() `reps` times and returns the median wall time in seconds.
+// Wall-time distribution of a repeated measurement. The median is the
+// headline number; min and stddev make noisy-run variance visible in the
+// JSON trajectory records.
+struct TimingStats {
+  double median_s = 0;
+  double min_s = 0;
+  double max_s = 0;
+  double mean_s = 0;
+  double stddev_s = 0;
+  int reps = 0;
+};
+
+inline TimingStats TimingFromSamples(std::vector<double> times) {
+  TimingStats t;
+  t.reps = static_cast<int>(times.size());
+  if (times.empty()) return t;
+  std::sort(times.begin(), times.end());
+  t.median_s = times[times.size() / 2];
+  t.min_s = times.front();
+  t.max_s = times.back();
+  double sum = 0;
+  for (double s : times) sum += s;
+  t.mean_s = sum / static_cast<double>(times.size());
+  double var = 0;
+  for (double s : times) var += (s - t.mean_s) * (s - t.mean_s);
+  t.stddev_s = times.size() > 1
+                   ? std::sqrt(var / static_cast<double>(times.size() - 1))
+                   : 0.0;
+  return t;
+}
+
+// Runs fn() `reps` times and returns the wall-time distribution.
 template <typename F>
-double MedianSeconds(int reps, F&& fn) {
+TimingStats MeasureSeconds(int reps, F&& fn) {
   std::vector<double> times;
   times.reserve(reps);
   for (int r = 0; r < reps; ++r) {
@@ -48,8 +88,13 @@ double MedianSeconds(int reps, F&& fn) {
     fn();
     times.push_back(t.Seconds());
   }
-  std::sort(times.begin(), times.end());
-  return times[times.size() / 2];
+  return TimingFromSamples(std::move(times));
+}
+
+// Runs fn() `reps` times and returns the median wall time in seconds.
+template <typename F>
+double MedianSeconds(int reps, F&& fn) {
+  return MeasureSeconds(reps, std::forward<F>(fn)).median_s;
 }
 
 // Element time in nanoseconds: T * P / N / C (Section 6.1).
@@ -68,6 +113,165 @@ template <typename T>
 inline void DoNotOptimize(const T& value) {
   asm volatile("" : : "r,m"(value) : "memory");
 }
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench output.
+//
+//   BenchReporter reporter("fig04_strategy_breakdown", flags);
+//   if (reporter.enabled()) {
+//     BenchRecord r;
+//     r.Param("log_k", lk).Param("strategy", name);
+//     r.Metric("element_time_ns", et).Timing(timing).Stats(stats);
+//     reporter.Emit(r);
+//   }
+//
+// Each Emit appends one self-contained JSON object line (bench name, UTC
+// timestamp, machine info, then the record's sections) to stdout or to
+// the file given by --json=PATH. One line per data point keeps the format
+// append-only and trivially greppable/parseable for trajectory tracking.
+
+class BenchRecord {
+ public:
+  BenchRecord& Param(const char* key, uint64_t v) {
+    ParamsWriter().Key(key).Uint(v);
+    return *this;
+  }
+  BenchRecord& Param(const char* key, int v) {
+    ParamsWriter().Key(key).Int(v);
+    return *this;
+  }
+  BenchRecord& Param(const char* key, double v) {
+    ParamsWriter().Key(key).Double(v);
+    return *this;
+  }
+  BenchRecord& Param(const char* key, const char* v) {
+    ParamsWriter().Key(key).String(v);
+    return *this;
+  }
+  BenchRecord& Param(const char* key, const std::string& v) {
+    ParamsWriter().Key(key).String(v);
+    return *this;
+  }
+
+  BenchRecord& Metric(const char* key, double v) {
+    MetricsWriter().Key(key).Double(v);
+    return *this;
+  }
+  BenchRecord& MetricUint(const char* key, uint64_t v) {
+    MetricsWriter().Key(key).Uint(v);
+    return *this;
+  }
+
+  BenchRecord& Timing(const TimingStats& t) {
+    cea::obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("median_s").Double(t.median_s);
+    w.Key("min_s").Double(t.min_s);
+    w.Key("max_s").Double(t.max_s);
+    w.Key("mean_s").Double(t.mean_s);
+    w.Key("stddev_s").Double(t.stddev_s);
+    w.Key("reps").Int(t.reps);
+    w.EndObject();
+    return Section("timing", w.str());
+  }
+
+  BenchRecord& Stats(const ExecStats& stats) {
+    return Section("stats", ExecStatsToJson(stats));
+  }
+
+  BenchRecord& Counters(const cea::obs::PerfSample& sample) {
+    return Section("counters", PerfSampleToJson(sample));
+  }
+
+  // Attaches a pre-serialized JSON value under `key`.
+  BenchRecord& Section(const char* key, std::string json) {
+    sections_.emplace_back(key, std::move(json));
+    return *this;
+  }
+
+ private:
+  friend class BenchReporter;
+
+  cea::obs::JsonWriter& ParamsWriter() {
+    if (params_.empty()) params_.BeginObject();
+    return params_;
+  }
+  cea::obs::JsonWriter& MetricsWriter() {
+    if (metrics_.empty()) metrics_.BeginObject();
+    return metrics_;
+  }
+
+  cea::obs::JsonWriter params_;
+  cea::obs::JsonWriter metrics_;
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+class BenchReporter {
+ public:
+  BenchReporter(const char* bench_name, const Flags& flags)
+      : name_(bench_name), enabled_(flags.Has("json")) {
+    if (!enabled_) return;
+    std::string path = flags.GetString("json", "");
+    if (!path.empty() && path != "1") {
+      out_ = std::fopen(path.c_str(), "a");
+      if (out_ == nullptr) {
+        std::fprintf(stderr, "warning: cannot append to %s; using stdout\n",
+                     path.c_str());
+      } else {
+        owned_ = true;
+      }
+    }
+    if (out_ == nullptr) out_ = stdout;
+  }
+
+  ~BenchReporter() {
+    if (owned_) std::fclose(out_);
+  }
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  // True when --json was given: emit records, suppress the text table.
+  bool enabled() const { return enabled_; }
+
+  void Emit(const BenchRecord& record) {
+    if (!enabled_) return;
+    cea::obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").String(name_);
+    w.Key("utc").String(UtcTimestamp());
+    w.Key("machine").Raw(MachineInfoToJson(DetectMachine()));
+    w.Key("params").Raw(record.params_.empty() ? "{}"
+                                               : FinishObject(record.params_));
+    w.Key("metrics").Raw(
+        record.metrics_.empty() ? "{}" : FinishObject(record.metrics_));
+    for (const auto& [key, json] : record.sections_) {
+      w.Key(key).Raw(json);
+    }
+    w.EndObject();
+    std::fprintf(out_, "%s\n", w.str().c_str());
+    std::fflush(out_);
+  }
+
+ private:
+  static std::string FinishObject(const cea::obs::JsonWriter& w) {
+    return w.str() + "}";
+  }
+
+  static std::string UtcTimestamp() {
+    std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+  }
+
+  std::string name_;
+  bool enabled_ = false;
+  bool owned_ = false;
+  std::FILE* out_ = nullptr;
+};
 
 }  // namespace cea::bench
 

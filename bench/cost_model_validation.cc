@@ -1,0 +1,197 @@
+// Cost-model validation: measured cache-line transfers per row vs the
+// Section 2 predictions. Runs the operator as its two illustrative
+// incarnations — HashingOnly (= HashAggOpt) and PartitionAlways(2)
+// (= SortAggOpt) — on uniform data with hardware counters attached and
+// compares the LLC miss rate per input row against the model evaluated
+// with the machine's actual table budget and line size.
+//
+// Model mapping: the query is COUNT per key, so a row of state is
+// 16 bytes (8 B key + 8 B count). M = table_bytes / 16 rows of fast
+// memory, B = cache_line_bytes / 16 rows per line.
+//
+// The counters measure LLC *load* misses in user mode only, while the
+// model counts every line transfer (reads and writes, and the optimized
+// algorithms stream their writes past the cache) — so measured/predicted
+// is expected to sit below 1; the point of the bench is that both follow
+// the same knee at K = M and the same per-pass plateaus beyond it.
+//
+// Without perf_event access (non-Linux, perf_event_paranoid, most
+// containers) the bench still runs and reports the predictions; measured
+// fields are null in JSON and "n/a" in the table.
+//
+// Usage: cost_model_validation [--log_n=22] [--threads=N] [--min_k_log=4]
+//        [--max_k_log=21] [--reps=3] [--table_bytes=B] [--json[=PATH]]
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "agg_bench.h"
+#include "cea/model/cost_model.h"
+#include "cea/obs/obs.h"
+
+using namespace cea;        // NOLINT
+using namespace cea::bench; // NOLINT
+
+namespace {
+
+// Per-event median across repetitions; an event is valid when it was
+// valid in at least one repetition.
+obs::PerfSample MedianSample(const std::vector<obs::PerfSample>& samples) {
+  obs::PerfSample out;
+  for (int e = 0; e < obs::kNumPerfEvents; ++e) {
+    std::vector<uint64_t> values;
+    for (const obs::PerfSample& s : samples) {
+      if (s.valid[e]) values.push_back(s.value[e]);
+    }
+    if (values.empty()) continue;
+    std::sort(values.begin(), values.end());
+    out.value[e] = values[values.size() / 2];
+    out.valid[e] = true;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t n = uint64_t{1} << flags.GetUint("log_n", 22);
+  MachineInfo machine = DetectMachine();
+  const int threads =
+      static_cast<int>(flags.GetUint("threads", machine.hardware_threads));
+  const int min_k = static_cast<int>(flags.GetUint("min_k_log", 4));
+  const int max_k = static_cast<int>(flags.GetUint("max_k_log", 21));
+  const int reps = static_cast<int>(flags.GetUint("reps", 3));
+  const size_t table_bytes =
+      flags.GetUint("table_bytes", machine.l3_bytes_per_thread);
+  BenchReporter reporter("cost_model_validation", flags);
+
+  // COUNT per key: 16 bytes of state per row (see header comment).
+  const double row_bytes = 16.0;
+  ModelParams p{static_cast<double>(n),
+                static_cast<double>(table_bytes) / row_bytes,
+                static_cast<double>(kCacheLineBytes) / row_bytes};
+
+  obs::ObsContext obs(
+      obs::ObsContext::Options{/*counters=*/true, /*trace=*/false});
+
+  struct Strategy {
+    const char* name;
+    AggregationOptions::PolicyKind policy;
+    int passes;
+    double (*predict)(const ModelParams&, double);
+  };
+  const Strategy strategies[] = {
+      {"HashingOnly", AggregationOptions::PolicyKind::kHashingOnly, 0,
+       &HashAggOpt},
+      {"PartitionAlways(2)", AggregationOptions::PolicyKind::kPartitionAlways,
+       2, &SortAggOpt},
+  };
+
+  if (!reporter.enabled()) {
+    std::printf("# Cost-model validation: measured LLC-miss lines/row vs "
+                "Section 2 predictions\n");
+    std::printf("# N=2^%llu, P=%d, M=%.0f rows (table %.1f MiB), B=%.0f "
+                "rows/line\n",
+                (unsigned long long)flags.GetUint("log_n", 22), threads, p.m,
+                table_bytes / 1048576.0, p.b);
+    std::printf("%-20s %8s %12s %12s %8s %8s\n", "strategy", "log2(K)",
+                "pred/row", "llc_miss/row", "ratio", "passes");
+  }
+
+  for (const Strategy& strat : strategies) {
+    for (int lk = min_k; lk <= max_k; lk += 1) {
+      GenParams gp;
+      gp.n = n;
+      gp.k = uint64_t{1} << lk;
+      std::vector<uint64_t> keys = GenerateKeys(gp);
+
+      AggregationOptions options;
+      options.num_threads = threads;
+      options.policy = strat.policy;
+      options.partition_passes = strat.passes;
+      options.k_hint = gp.k;
+      options.table_bytes = table_bytes;
+      options.obs = &obs;
+
+      AggregationOperator op({{AggFn::kCount, -1}}, options);
+      InputTable input;
+      input.keys = keys.data();
+      input.num_rows = n;
+
+      std::vector<double> times;
+      std::vector<obs::PerfSample> samples;
+      ExecStats stats;
+      for (int r = 0; r < reps; ++r) {
+        ResultTable result;
+        Timer t;
+        Status st = op.Execute(input, &result, &stats);
+        times.push_back(t.Seconds());
+        if (!st.ok()) {
+          std::fprintf(stderr, "aggregation failed: %s\n",
+                       st.message().c_str());
+          return 1;
+        }
+        samples.push_back(obs.counter_totals());
+        DoNotOptimize(result.keys.data());
+      }
+      TimingStats timing = TimingFromSamples(std::move(times));
+      obs::PerfSample sample = MedianSample(samples);
+
+      double predicted = strat.predict(p, static_cast<double>(gp.k)) /
+                         static_cast<double>(n);
+      const bool have_llc = sample.valid[obs::kLLCMisses];
+      double measured = have_llc ? static_cast<double>(
+                                       sample.value[obs::kLLCMisses]) /
+                                       static_cast<double>(n)
+                                 : 0.0;
+
+      if (reporter.enabled()) {
+        BenchRecord r;
+        r.Param("strategy", strat.name)
+            .Param("log_n", flags.GetUint("log_n", 22))
+            .Param("log_k", lk)
+            .Param("threads", threads)
+            .Param("table_bytes", uint64_t{table_bytes})
+            .Param("model_m_rows", p.m)
+            .Param("model_b_rows", p.b);
+        r.Metric("predicted_lines_per_row", predicted);
+        if (have_llc) {
+          r.Metric("measured_llc_lines_per_row", measured)
+              .Metric("measured_over_predicted", measured / predicted);
+        } else {
+          // Counters unavailable: the fields stay present but null so the
+          // trajectory tooling sees the degradation instead of a gap.
+          r.Section("measured_llc_lines_per_row", "null")
+              .Section("measured_over_predicted", "null");
+        }
+        r.MetricUint("model_passes",
+                     static_cast<uint64_t>(
+                         OptimizedPasses(p, static_cast<double>(gp.k))));
+        r.Timing(timing).Stats(stats).Counters(sample);
+        reporter.Emit(r);
+      } else {
+        char measured_str[32];
+        char ratio_str[32];
+        if (have_llc) {
+          std::snprintf(measured_str, sizeof(measured_str), "%.3f", measured);
+          std::snprintf(ratio_str, sizeof(ratio_str), "%.2f",
+                        measured / predicted);
+        } else {
+          std::snprintf(measured_str, sizeof(measured_str), "n/a");
+          std::snprintf(ratio_str, sizeof(ratio_str), "n/a");
+        }
+        std::printf("%-20s %8d %12.3f %12s %8s %8d\n", strat.name, lk,
+                    predicted, measured_str, ratio_str,
+                    OptimizedPasses(p, static_cast<double>(gp.k)));
+      }
+    }
+    if (!reporter.enabled()) std::printf("\n");
+  }
+  if (!reporter.enabled() && !obs.counter_totals().any_valid()) {
+    std::printf("# hardware counters unavailable (perf_event_open denied?); "
+                "only predictions reported\n");
+  }
+  return 0;
+}

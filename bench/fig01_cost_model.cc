@@ -2,7 +2,7 @@
 // algorithms as a function of the output cardinality K, in the external
 // memory model with N = 2^32, M = 2^16, B = 16.
 //
-// Usage: fig01_cost_model [--log_n=32] [--log_m=16] [--b=16]
+// Usage: fig01_cost_model [--log_n=32] [--log_m=16] [--b=16] [--json[=PATH]]
 
 #include <cmath>
 #include <cstdio>
@@ -15,22 +15,41 @@ int main(int argc, char** argv) {
   int log_n = static_cast<int>(flags.GetUint("log_n", 32));
   int log_m = static_cast<int>(flags.GetUint("log_m", 16));
   double b = flags.GetDouble("b", 16);
+  cea::bench::BenchReporter reporter("fig01_cost_model", flags);
 
   cea::ModelParams p{std::pow(2.0, log_n), std::pow(2.0, log_m), b};
 
-  std::printf("# Figure 1: cache line transfers vs K "
-              "(N=2^%d, M=2^%d, B=%.0f)\n",
-              log_n, log_m, b);
-  std::printf("%8s %16s %16s %16s %16s %16s %6s\n", "log2(K)", "SortAggStat",
-              "SortAgg", "SortAggOpt", "HashAgg", "HashAggOpt", "passes");
+  if (!reporter.enabled()) {
+    std::printf("# Figure 1: cache line transfers vs K "
+                "(N=2^%d, M=2^%d, B=%.0f)\n",
+                log_n, log_m, b);
+    std::printf("%8s %16s %16s %16s %16s %16s %6s\n", "log2(K)", "SortAggStat",
+                "SortAgg", "SortAggOpt", "HashAgg", "HashAggOpt", "passes");
+  }
   for (int logk = 0; logk <= log_n; ++logk) {
     double k = std::pow(2.0, logk);
-    std::printf("%8d %16.4g %16.4g %16.4g %16.4g %16.4g %6d\n", logk,
-                cea::SortAggStatic(p, k), cea::SortAgg(p, k),
-                cea::SortAggOpt(p, k), cea::HashAgg(p, k),
-                cea::HashAggOpt(p, k), cea::OptimizedPasses(p, k));
+    if (reporter.enabled()) {
+      cea::bench::BenchRecord r;
+      r.Param("log_n", log_n).Param("log_m", log_m).Param("b", b).Param(
+          "log_k", logk);
+      r.Metric("sort_agg_static", cea::SortAggStatic(p, k))
+          .Metric("sort_agg", cea::SortAgg(p, k))
+          .Metric("sort_agg_opt", cea::SortAggOpt(p, k))
+          .Metric("hash_agg", cea::HashAgg(p, k))
+          .Metric("hash_agg_opt", cea::HashAggOpt(p, k))
+          .MetricUint("passes",
+                      static_cast<uint64_t>(cea::OptimizedPasses(p, k)));
+      reporter.Emit(r);
+    } else {
+      std::printf("%8d %16.4g %16.4g %16.4g %16.4g %16.4g %6d\n", logk,
+                  cea::SortAggStatic(p, k), cea::SortAgg(p, k),
+                  cea::SortAggOpt(p, k), cea::HashAgg(p, k),
+                  cea::HashAggOpt(p, k), cea::OptimizedPasses(p, k));
+    }
   }
-  std::printf("\n# Identity check: HashAggOpt == SortAggOpt at every K "
-              "(\"hashing is sorting\").\n");
+  if (!reporter.enabled()) {
+    std::printf("\n# Identity check: HashAggOpt == SortAggOpt at every K "
+                "(\"hashing is sorting\").\n");
+  }
   return 0;
 }

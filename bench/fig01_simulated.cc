@@ -7,7 +7,7 @@
 // N = 2^16, M = 2^10, B = 8 by default (same N/M and M/B ratios as a
 // scaled-down Figure 1).
 //
-// Usage: fig01_simulated [--log_n=16] [--log_m=10] [--b=8]
+// Usage: fig01_simulated [--log_n=16] [--log_m=10] [--b=8] [--json[=PATH]]
 
 #include <cmath>
 #include <cstdio>
@@ -28,13 +28,16 @@ int main(int argc, char** argv) {
 
   cea::ModelParams p{static_cast<double>(n), static_cast<double>(m),
                      static_cast<double>(b)};
+  cea::bench::BenchReporter reporter("fig01_simulated", flags);
 
-  std::printf("# Figure 1 (simulated): measured cache line transfers vs "
-              "model (N=2^%d, M=2^%d, B=%llu)\n",
-              log_n, log_m, (unsigned long long)b);
-  std::printf("%8s %12s %12s %12s %12s %12s %12s %7s\n", "log2(K)",
-              "sim:Hash", "model:Hash", "sim:Sort", "model:Sort", "sim:Opt",
-              "model:Opt", "passes");
+  if (!reporter.enabled()) {
+    std::printf("# Figure 1 (simulated): measured cache line transfers vs "
+                "model (N=2^%d, M=2^%d, B=%llu)\n",
+                log_n, log_m, (unsigned long long)b);
+    std::printf("%8s %12s %12s %12s %12s %12s %12s %7s\n", "log2(K)",
+                "sim:Hash", "model:Hash", "sim:Sort", "model:Sort", "sim:Opt",
+                "model:Opt", "passes");
+  }
 
   for (int lk = 2; lk <= log_n; lk += 2) {
     uint64_t k = uint64_t{1} << lk;
@@ -47,15 +50,34 @@ int main(int argc, char** argv) {
     cea::SimResult sort = cea::SimSortAgg(keys, m, b);
     cea::SimResult opt = cea::SimHashAggOpt(keys, m, b);
 
-    std::printf("%8d %12llu %12.0f %12llu %12.0f %12llu %12.0f %7d\n", lk,
-                (unsigned long long)hash.transfers,
-                cea::HashAgg(p, static_cast<double>(k)),
-                (unsigned long long)sort.transfers,
-                cea::SortAgg(p, static_cast<double>(k)),
-                (unsigned long long)opt.transfers,
-                cea::HashAggOpt(p, static_cast<double>(k)), opt.passes);
+    if (reporter.enabled()) {
+      cea::bench::BenchRecord r;
+      r.Param("log_n", log_n).Param("log_m", log_m).Param("b", b).Param(
+          "log_k", lk);
+      r.MetricUint("sim_hash_transfers", hash.transfers)
+          .Metric("model_hash_transfers",
+                  cea::HashAgg(p, static_cast<double>(k)))
+          .MetricUint("sim_sort_transfers", sort.transfers)
+          .Metric("model_sort_transfers",
+                  cea::SortAgg(p, static_cast<double>(k)))
+          .MetricUint("sim_opt_transfers", opt.transfers)
+          .Metric("model_opt_transfers",
+                  cea::HashAggOpt(p, static_cast<double>(k)))
+          .MetricUint("passes", static_cast<uint64_t>(opt.passes));
+      reporter.Emit(r);
+    } else {
+      std::printf("%8d %12llu %12.0f %12llu %12.0f %12llu %12.0f %7d\n", lk,
+                  (unsigned long long)hash.transfers,
+                  cea::HashAgg(p, static_cast<double>(k)),
+                  (unsigned long long)sort.transfers,
+                  cea::SortAgg(p, static_cast<double>(k)),
+                  (unsigned long long)opt.transfers,
+                  cea::HashAggOpt(p, static_cast<double>(k)), opt.passes);
+    }
   }
-  std::printf("\n# sim:Opt covers both optimized variants: their traces are "
-              "identical (hashing is sorting).\n");
+  if (!reporter.enabled()) {
+    std::printf("\n# sim:Opt covers both optimized variants: their traces "
+                "are identical (hashing is sorting).\n");
+  }
   return 0;
 }

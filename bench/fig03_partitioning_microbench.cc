@@ -12,6 +12,7 @@
 //   map          applying a mapping vector to an aggregate column with SWC
 //
 // Usage: fig03_partitioning_microbench [--log_n=23] [--reps=3]
+//        [--json[=PATH]]
 
 #include <cstdio>
 #include <cstdlib>
@@ -174,47 +175,62 @@ int main(int argc, char** argv) {
   };
   auto hash_digit = [](uint64_t k) { return RadixDigit(MurmurHash64(k), 0); };
 
-  std::printf("# Figure 3: partitioning bandwidth, N=2^%llu u64, %u "
-              "partitions (payload %.0f MiB)\n",
-              (unsigned long long)flags.GetUint("log_n", 23), kFanOut,
-              bytes / 1048576.0);
-  std::printf("%-16s %12s %10s\n", "variant", "GiB/s", "rel");
+  cea::bench::BenchReporter reporter("fig03_partitioning_microbench", flags);
+
+  if (!reporter.enabled()) {
+    std::printf("# Figure 3: partitioning bandwidth, N=2^%llu u64, %u "
+                "partitions (payload %.0f MiB)\n",
+                (unsigned long long)flags.GetUint("log_n", 23), kFanOut,
+                bytes / 1048576.0);
+    std::printf("%-16s %12s %10s\n", "variant", "GiB/s", "rel");
+  }
 
   AlignedBuffer out(n + kFanOut * 8);  // room for line-alignment padding
 
-  double memcpy_s = cea::bench::MedianSeconds(reps, [&] {
+  cea::bench::TimingStats memcpy_t = cea::bench::MeasureSeconds(reps, [&] {
     cea::StreamMemcpy(out.data, keys.data(), bytes);
   });
-  double memcpy_bw = cea::bench::BandwidthGiBs(bytes, memcpy_s);
+  double memcpy_bw = cea::bench::BandwidthGiBs(bytes, memcpy_t.median_s);
 
-  auto report = [&](const char* name, double seconds) {
-    double bw = cea::bench::BandwidthGiBs(bytes, seconds);
-    std::printf("%-16s %12.2f %9.0f%%\n", name, bw, bw / memcpy_bw * 100.0);
+  auto report = [&](const char* name, const cea::bench::TimingStats& t) {
+    double bw = cea::bench::BandwidthGiBs(bytes, t.median_s);
+    if (reporter.enabled()) {
+      cea::bench::BenchRecord r;
+      r.Param("variant", name)
+          .Param("log_n", flags.GetUint("log_n", 23))
+          .Param("partitions", uint64_t{kFanOut});
+      r.Metric("gib_per_s", bw)
+          .Metric("relative_to_memcpy", bw / memcpy_bw);
+      r.Timing(t);
+      reporter.Emit(r);
+    } else {
+      std::printf("%-16s %12.2f %9.0f%%\n", name, bw, bw / memcpy_bw * 100.0);
+    }
   };
-  std::printf("%-16s %12.2f %9.0f%%\n", "memcpy(nt)", memcpy_bw, 100.0);
+  report("memcpy(nt)", memcpy_t);
 
-  report("key", cea::bench::MedianSeconds(reps, [&] {
+  report("key", cea::bench::MeasureSeconds(reps, [&] {
            NaivePartition(keys.data(), n, out.data, key_digit);
          }));
-  report("hash", cea::bench::MedianSeconds(reps, [&] {
+  report("hash", cea::bench::MeasureSeconds(reps, [&] {
            NaivePartition(keys.data(), n, out.data, hash_digit);
          }));
-  report("key+swc", cea::bench::MedianSeconds(reps, [&] {
+  report("key+swc", cea::bench::MeasureSeconds(reps, [&] {
            SwcPartition(keys.data(), n, out.data, key_digit, false);
          }));
-  report("hash+swc", cea::bench::MedianSeconds(reps, [&] {
+  report("hash+swc", cea::bench::MeasureSeconds(reps, [&] {
            SwcPartition(keys.data(), n, out.data, hash_digit, false);
          }));
-  report("hash+swc+ooo", cea::bench::MedianSeconds(reps, [&] {
+  report("hash+swc+ooo", cea::bench::MeasureSeconds(reps, [&] {
            SwcPartition(keys.data(), n, out.data, hash_digit, true);
          }));
 
   std::vector<uint8_t> mapping(n);
-  report("two-level", cea::bench::MedianSeconds(reps, [&] {
+  report("two-level", cea::bench::MeasureSeconds(reps, [&] {
            std::vector<ChunkedArray> runs(kFanOut);
            TwoLevelPartition(keys.data(), n, mapping.data(), &runs);
          }));
-  report("map", cea::bench::MedianSeconds(reps, [&] {
+  report("map", cea::bench::MeasureSeconds(reps, [&] {
            std::vector<ChunkedArray> vruns(kFanOut);
            MapPartition(keys.data(), mapping.data(), n, &vruns);
          }));

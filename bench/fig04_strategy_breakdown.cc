@@ -6,12 +6,18 @@
 //
 // Usage: fig04_strategy_breakdown [--log_n=22] [--threads=N]
 //        [--min_k_log=4] [--max_k_log=21] [--table_bytes=B]
+//        [--json[=PATH]] [--trace=PATH]
+//
+// --json emits one JSONL record per (strategy, K) point instead of the
+// table; --trace writes a Chrome trace-event file of every pass (view in
+// Perfetto), which also exercises the span-recording overhead budget.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "agg_bench.h"
+#include "cea/obs/obs.h"
 
 using namespace cea;        // NOLINT
 using namespace cea::bench; // NOLINT
@@ -25,6 +31,11 @@ int main(int argc, char** argv) {
   const int min_k = static_cast<int>(flags.GetUint("min_k_log", 4));
   const int max_k = static_cast<int>(flags.GetUint("max_k_log", 21));
   const int reps = static_cast<int>(flags.GetUint("reps", 1));
+  BenchReporter reporter("fig04_strategy_breakdown", flags);
+
+  const std::string trace_path = flags.GetString("trace", "");
+  obs::ObsContext obs(
+      obs::ObsContext::Options{/*counters=*/false, /*trace=*/true});
 
   struct Strategy {
     const char* name;
@@ -39,11 +50,13 @@ int main(int argc, char** argv) {
        3},
   };
 
-  std::printf("# Figure 4: per-pass breakdown, uniform data, N=2^%llu, "
-              "P=%d threads\n",
-              (unsigned long long)flags.GetUint("log_n", 22), threads);
-  std::printf("%-20s %8s %10s %10s %10s %10s %12s\n", "strategy", "log2(K)",
-              "lvl0[ns]", "lvl1[ns]", "lvl2[ns]", "lvl3+[ns]", "total[ns]");
+  if (!reporter.enabled()) {
+    std::printf("# Figure 4: per-pass breakdown, uniform data, N=2^%llu, "
+                "P=%d threads\n",
+                (unsigned long long)flags.GetUint("log_n", 22), threads);
+    std::printf("%-20s %8s %10s %10s %10s %10s %12s\n", "strategy", "log2(K)",
+                "lvl0[ns]", "lvl1[ns]", "lvl2[ns]", "lvl3+[ns]", "total[ns]");
+  }
 
   for (const Strategy& strat : strategies) {
     for (int lk = min_k; lk <= max_k; lk += 2) {
@@ -60,9 +73,12 @@ int main(int argc, char** argv) {
       if (flags.Has("table_bytes")) {
         options.table_bytes = flags.GetUint("table_bytes", 0);
       }
+      if (!trace_path.empty()) options.obs = &obs;
 
       ExecStats stats;
-      double sec = TimeAggregation(keys, {}, {}, options, reps, &stats);
+      TimingStats timing;
+      double sec = TimeAggregation(keys, {}, {}, options, reps, &stats,
+                                   nullptr, &timing);
       auto lvl_ns = [&](int l) {
         return ElementTimeNs(stats.seconds_at_level[l], 1, n, 1);
       };
@@ -70,12 +86,36 @@ int main(int argc, char** argv) {
       for (size_t l = 3; l < stats.seconds_at_level.size(); ++l) {
         tail += stats.seconds_at_level[l];
       }
-      std::printf("%-20s %8d %10.2f %10.2f %10.2f %10.2f %12.2f\n",
-                  strat.name, lk, lvl_ns(0), lvl_ns(1), lvl_ns(2),
-                  ElementTimeNs(tail, 1, n, 1),
-                  ElementTimeNs(sec, threads, n, 1));
+      if (reporter.enabled()) {
+        BenchRecord r;
+        r.Param("strategy", strat.name)
+            .Param("log_n", flags.GetUint("log_n", 22))
+            .Param("log_k", lk)
+            .Param("threads", threads);
+        r.Metric("element_time_ns", ElementTimeNs(sec, threads, n, 1))
+            .Metric("lvl0_ns", lvl_ns(0))
+            .Metric("lvl1_ns", lvl_ns(1))
+            .Metric("lvl2_ns", lvl_ns(2))
+            .Metric("lvl3plus_ns", ElementTimeNs(tail, 1, n, 1));
+        r.Timing(timing).Stats(stats);
+        reporter.Emit(r);
+      } else {
+        std::printf("%-20s %8d %10.2f %10.2f %10.2f %10.2f %12.2f\n",
+                    strat.name, lk, lvl_ns(0), lvl_ns(1), lvl_ns(2),
+                    ElementTimeNs(tail, 1, n, 1),
+                    ElementTimeNs(sec, threads, n, 1));
+      }
     }
-    std::printf("\n");
+    if (!reporter.enabled()) std::printf("\n");
+  }
+  if (!trace_path.empty()) {
+    if (obs.trace().WriteChromeJson(trace_path)) {
+      std::fprintf(stderr, "trace: %zu spans -> %s\n",
+                   obs.trace().num_spans(), trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -3,7 +3,7 @@
 // the best of the illustrative strategies piecewise, without knowing K.
 //
 // Usage: fig05_adaptive [--log_n=22] [--threads=N] [--min_k_log=4]
-//        [--max_k_log=21] [--table_bytes=B]
+//        [--max_k_log=21] [--table_bytes=B] [--json[=PATH]]
 
 #include <cstdio>
 #include <vector>
@@ -22,12 +22,15 @@ int main(int argc, char** argv) {
   const int min_k = static_cast<int>(flags.GetUint("min_k_log", 4));
   const int max_k = static_cast<int>(flags.GetUint("max_k_log", 21));
   const int reps = static_cast<int>(flags.GetUint("reps", 1));
+  BenchReporter reporter("fig05_adaptive", flags);
 
-  std::printf("# Figure 5: ADAPTIVE vs illustrative strategies, uniform "
-              "data, N=2^%llu, P=%d (element time, ns)\n",
-              (unsigned long long)flags.GetUint("log_n", 22), threads);
-  std::printf("%8s %14s %14s %14s %14s\n", "log2(K)", "HashingOnly",
-              "PartAlways(2)", "PartAlways(3)", "Adaptive");
+  if (!reporter.enabled()) {
+    std::printf("# Figure 5: ADAPTIVE vs illustrative strategies, uniform "
+                "data, N=2^%llu, P=%d (element time, ns)\n",
+                (unsigned long long)flags.GetUint("log_n", 22), threads);
+    std::printf("%8s %14s %14s %14s %14s\n", "log2(K)", "HashingOnly",
+                "PartAlways(2)", "PartAlways(3)", "Adaptive");
+  }
 
   for (int lk = min_k; lk <= max_k; lk += 1) {
     GenParams gp;
@@ -35,7 +38,8 @@ int main(int argc, char** argv) {
     gp.k = uint64_t{1} << lk;
     std::vector<uint64_t> keys = GenerateKeys(gp);
 
-    auto run = [&](AggregationOptions::PolicyKind policy, int passes) {
+    auto run = [&](const char* name, AggregationOptions::PolicyKind policy,
+                   int passes) {
       AggregationOptions options;
       options.num_threads = threads;
       options.policy = policy;
@@ -44,15 +48,36 @@ int main(int argc, char** argv) {
       if (flags.Has("table_bytes")) {
         options.table_bytes = flags.GetUint("table_bytes", 0);
       }
-      double sec = TimeAggregation(keys, {}, {}, options, reps);
-      return ElementTimeNs(sec, threads, n, 1);
+      ExecStats stats;
+      TimingStats timing;
+      double sec = TimeAggregation(keys, {}, {}, options, reps, &stats,
+                                   nullptr, &timing);
+      double et = ElementTimeNs(sec, threads, n, 1);
+      if (reporter.enabled()) {
+        BenchRecord r;
+        r.Param("strategy", name)
+            .Param("log_n", flags.GetUint("log_n", 22))
+            .Param("log_k", lk)
+            .Param("threads", threads);
+        r.Metric("element_time_ns", et);
+        r.Timing(timing).Stats(stats);
+        reporter.Emit(r);
+      }
+      return et;
     };
 
-    std::printf("%8d %14.2f %14.2f %14.2f %14.2f\n", lk,
-                run(AggregationOptions::PolicyKind::kHashingOnly, 0),
-                run(AggregationOptions::PolicyKind::kPartitionAlways, 2),
-                run(AggregationOptions::PolicyKind::kPartitionAlways, 3),
-                run(AggregationOptions::PolicyKind::kAdaptive, 0));
+    double hash_only = run("HashingOnly",
+                           AggregationOptions::PolicyKind::kHashingOnly, 0);
+    double part2 = run("PartitionAlways(2)",
+                       AggregationOptions::PolicyKind::kPartitionAlways, 2);
+    double part3 = run("PartitionAlways(3)",
+                       AggregationOptions::PolicyKind::kPartitionAlways, 3);
+    double adaptive =
+        run("Adaptive", AggregationOptions::PolicyKind::kAdaptive, 0);
+    if (!reporter.enabled()) {
+      std::printf("%8d %14.2f %14.2f %14.2f %14.2f\n", lk, hash_only, part2,
+                  part3, adaptive);
+    }
   }
   return 0;
 }

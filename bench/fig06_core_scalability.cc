@@ -4,6 +4,7 @@
 // the available range (document the machine in EXPERIMENTS.md).
 //
 // Usage: fig06_core_scalability [--log_n=22] [--max_threads=N]
+//        [--json[=PATH]]
 
 #include <cstdio>
 #include <vector>
@@ -22,14 +23,17 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(flags.GetUint("reps", 1));
 
   const std::vector<int> k_logs = {10, 16, 20};
+  BenchReporter reporter("fig06_core_scalability", flags);
 
-  std::printf("# Figure 6: speedup vs #threads (ADAPTIVE, uniform, "
-              "N=2^%llu); hardware threads: %d\n",
-              (unsigned long long)flags.GetUint("log_n", 22),
-              machine.hardware_threads);
-  std::printf("%8s", "threads");
-  for (int lk : k_logs) std::printf("   K=2^%-2d[ns] speedup", lk);
-  std::printf("\n");
+  if (!reporter.enabled()) {
+    std::printf("# Figure 6: speedup vs #threads (ADAPTIVE, uniform, "
+                "N=2^%llu); hardware threads: %d\n",
+                (unsigned long long)flags.GetUint("log_n", 22),
+                machine.hardware_threads);
+    std::printf("%8s", "threads");
+    for (int lk : k_logs) std::printf("   K=2^%-2d[ns] speedup", lk);
+    std::printf("\n");
+  }
 
   std::vector<std::vector<uint64_t>> keysets;
   for (int lk : k_logs) {
@@ -41,16 +45,29 @@ int main(int argc, char** argv) {
 
   std::vector<double> base(k_logs.size(), 0);
   for (int p = 1; p <= max_threads; p *= 2) {
-    std::printf("%8d", p);
+    if (!reporter.enabled()) std::printf("%8d", p);
     for (size_t i = 0; i < k_logs.size(); ++i) {
       AggregationOptions options;
       options.num_threads = p;
-      double sec = TimeAggregation(keysets[i], {}, {}, options, reps);
+      TimingStats timing;
+      double sec = TimeAggregation(keysets[i], {}, {}, options, reps,
+                                   nullptr, nullptr, &timing);
       if (p == 1) base[i] = sec;
-      std::printf("   %11.2f %7.2f", ElementTimeNs(sec, p, n, 1),
-                  base[i] / sec);
+      if (reporter.enabled()) {
+        BenchRecord r;
+        r.Param("log_n", flags.GetUint("log_n", 22))
+            .Param("log_k", k_logs[i])
+            .Param("threads", p);
+        r.Metric("element_time_ns", ElementTimeNs(sec, p, n, 1))
+            .Metric("speedup", base[i] / sec);
+        r.Timing(timing);
+        reporter.Emit(r);
+      } else {
+        std::printf("   %11.2f %7.2f", ElementTimeNs(sec, p, n, 1),
+                    base[i] / sec);
+      }
     }
-    std::printf("\n");
+    if (!reporter.enabled()) std::printf("\n");
   }
   return 0;
 }

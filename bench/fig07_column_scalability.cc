@@ -4,7 +4,7 @@
 // should be nearly flat in C for every K.
 //
 // Usage: fig07_column_scalability [--log_n=20] [--threads=N]
-//        [--min_k_log=4] [--max_k_log=20]
+//        [--min_k_log=4] [--max_k_log=20] [--json[=PATH]]
 
 #include <cstdio>
 #include <vector>
@@ -27,13 +27,16 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(flags.GetUint("reps", 1));
 
   const std::vector<int> agg_columns = {0, 1, 3, 7};
+  BenchReporter reporter("fig07_column_scalability", flags);
 
-  std::printf("# Figure 7: element time (ns, normalized by column count C) "
-              "vs K for different numbers of SUM columns; N=2^%llu, P=%d\n",
-              (unsigned long long)flags.GetUint("log_n", 20), threads);
-  std::printf("%8s", "log2(K)");
-  for (int c : agg_columns) std::printf(" %8s%d", "aggs=", c);
-  std::printf("\n");
+  if (!reporter.enabled()) {
+    std::printf("# Figure 7: element time (ns, normalized by column count C) "
+                "vs K for different numbers of SUM columns; N=2^%llu, P=%d\n",
+                (unsigned long long)flags.GetUint("log_n", 20), threads);
+    std::printf("%8s", "log2(K)");
+    for (int c : agg_columns) std::printf(" %8s%d", "aggs=", c);
+    std::printf("\n");
+  }
 
   // Pre-generate the widest value set once.
   std::vector<Column> values;
@@ -46,7 +49,7 @@ int main(int argc, char** argv) {
     gp.n = n;
     gp.k = uint64_t{1} << lk;
     std::vector<uint64_t> keys = GenerateKeys(gp);
-    std::printf("%8d", lk);
+    if (!reporter.enabled()) std::printf("%8d", lk);
     for (int c : agg_columns) {
       std::vector<AggregateSpec> specs;
       std::vector<const Column*> cols;
@@ -56,10 +59,23 @@ int main(int argc, char** argv) {
       }
       AggregationOptions options;
       options.num_threads = threads;
-      double sec = TimeAggregation(keys, specs, cols, options, reps);
-      std::printf(" %9.2f", ElementTimeNs(sec, threads, n, 1 + c));
+      TimingStats timing;
+      double sec = TimeAggregation(keys, specs, cols, options, reps, nullptr,
+                                   nullptr, &timing);
+      if (reporter.enabled()) {
+        BenchRecord r;
+        r.Param("log_n", flags.GetUint("log_n", 20))
+            .Param("log_k", lk)
+            .Param("threads", threads)
+            .Param("agg_cols", c);
+        r.Metric("element_time_ns", ElementTimeNs(sec, threads, n, 1 + c));
+        r.Timing(timing);
+        reporter.Emit(r);
+      } else {
+        std::printf(" %9.2f", ElementTimeNs(sec, threads, n, 1 + c));
+      }
     }
-    std::printf("\n");
+    if (!reporter.enabled()) std::printf("\n");
   }
   return 0;
 }

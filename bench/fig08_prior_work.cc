@@ -9,7 +9,7 @@
 // fallback tables and changes results by < 10%).
 //
 // Usage: fig08_prior_work [--log_n=22] [--threads=N] [--min_k_log=4]
-//        [--max_k_log=21]
+//        [--max_k_log=21] [--json[=PATH]]
 
 #include <cstdio>
 #include <memory>
@@ -48,12 +48,16 @@ int main(int argc, char** argv) {
   baselines.push_back(MakePartitionAndAggregateBaseline(l3));
   baselines.push_back(MakePlatBaseline(l3));
 
-  std::printf("# Figure 8: DISTINCT query vs prior work, uniform data, "
-              "N=2^%llu, P=%d (element time, ns)\n",
-              (unsigned long long)flags.GetUint("log_n", 22), threads);
-  std::printf("%8s %12s", "log2(K)", "Adaptive");
-  for (auto& b : baselines) std::printf(" %20s", b->Name().c_str());
-  std::printf("\n");
+  BenchReporter reporter("fig08_prior_work", flags);
+
+  if (!reporter.enabled()) {
+    std::printf("# Figure 8: DISTINCT query vs prior work, uniform data, "
+                "N=2^%llu, P=%d (element time, ns)\n",
+                (unsigned long long)flags.GetUint("log_n", 22), threads);
+    std::printf("%8s %12s", "log2(K)", "Adaptive");
+    for (auto& b : baselines) std::printf(" %20s", b->Name().c_str());
+    std::printf("\n");
+  }
 
   for (int lk = min_k; lk <= max_k; lk += 1) {
     GenParams gp;
@@ -64,14 +68,33 @@ int main(int argc, char** argv) {
     // all keys appear).
     size_t true_k = std::set<uint64_t>(keys.begin(), keys.end()).size();
 
+    auto emit = [&](const std::string& algorithm, const TimingStats& timing) {
+      if (!reporter.enabled()) return;
+      BenchRecord r;
+      r.Param("algorithm", algorithm)
+          .Param("log_n", flags.GetUint("log_n", 22))
+          .Param("log_k", lk)
+          .Param("true_k", uint64_t{true_k})
+          .Param("threads", threads);
+      r.Metric("element_time_ns",
+               ElementTimeNs(timing.median_s, threads, n, 1));
+      r.Timing(timing);
+      reporter.Emit(r);
+    };
+
     AggregationOptions options;
     options.num_threads = threads;
     options.k_hint = true_k;
-    double ours = TimeAggregation(keys, {}, {}, options, reps);
-    std::printf("%8d %12.2f", lk, ElementTimeNs(ours, threads, n, 1));
+    TimingStats ours_t;
+    double ours = TimeAggregation(keys, {}, {}, options, reps, nullptr,
+                                  nullptr, &ours_t);
+    emit("Adaptive", ours_t);
+    if (!reporter.enabled()) {
+      std::printf("%8d %12.2f", lk, ElementTimeNs(ours, threads, n, 1));
+    }
 
     for (auto& b : baselines) {
-      double sec = MedianSeconds(reps, [&] {
+      TimingStats t = MeasureSeconds(reps, [&] {
         GroupCounts out = b->Run(keys.data(), n, true_k, pool);
         DoNotOptimize(out.keys.data());
         if (out.num_groups() != true_k) {
@@ -80,9 +103,12 @@ int main(int argc, char** argv) {
           std::exit(1);
         }
       });
-      std::printf(" %20.2f", ElementTimeNs(sec, threads, n, 1));
+      emit(b->Name(), t);
+      if (!reporter.enabled()) {
+        std::printf(" %20.2f", ElementTimeNs(t.median_s, threads, n, 1));
+      }
     }
-    std::printf("\n");
+    if (!reporter.enabled()) std::printf("\n");
   }
   return 0;
 }

@@ -5,7 +5,7 @@
 // figure's solid markers indicate where hashing was chosen).
 //
 // Usage: fig09_skew_resistance [--log_n=22] [--threads=N] [--min_k_log=4]
-//        [--max_k_log=21]
+//        [--max_k_log=21] [--json[=PATH]]
 
 #include <cstdio>
 #include <vector>
@@ -25,18 +25,22 @@ int main(int argc, char** argv) {
   const int max_k = static_cast<int>(flags.GetUint("max_k_log", 21));
   const int reps = static_cast<int>(flags.GetUint("reps", 1));
 
-  std::printf("# Figure 9: ADAPTIVE across distributions, N=2^%llu, P=%d\n",
-              (unsigned long long)flags.GetUint("log_n", 22), threads);
-  std::printf("# element time [ns] (fraction of rows aggregated by "
-              "HASHING)\n");
-  std::printf("%8s", "log2(K)");
-  for (Distribution d : AllDistributions()) {
-    std::printf(" %20s", DistributionName(d));
+  BenchReporter reporter("fig09_skew_resistance", flags);
+
+  if (!reporter.enabled()) {
+    std::printf("# Figure 9: ADAPTIVE across distributions, N=2^%llu, P=%d\n",
+                (unsigned long long)flags.GetUint("log_n", 22), threads);
+    std::printf("# element time [ns] (fraction of rows aggregated by "
+                "HASHING)\n");
+    std::printf("%8s", "log2(K)");
+    for (Distribution d : AllDistributions()) {
+      std::printf(" %20s", DistributionName(d));
+    }
+    std::printf("\n");
   }
-  std::printf("\n");
 
   for (int lk = min_k; lk <= max_k; lk += 1) {
-    std::printf("%8d", lk);
+    if (!reporter.enabled()) std::printf("%8d", lk);
     for (Distribution d : AllDistributions()) {
       GenParams gp;
       gp.n = n;
@@ -47,16 +51,30 @@ int main(int argc, char** argv) {
       AggregationOptions options;
       options.num_threads = threads;
       ExecStats stats;
-      double sec = TimeAggregation(keys, {}, {}, options, reps, &stats);
+      TimingStats timing;
+      double sec = TimeAggregation(keys, {}, {}, options, reps, &stats,
+                                   nullptr, &timing);
       double hash_frac =
           static_cast<double>(stats.rows_hashed) /
           static_cast<double>(stats.rows_hashed + stats.rows_partitioned);
-      char cell[32];
-      std::snprintf(cell, sizeof(cell), "%.1f (%.2f)",
-                    ElementTimeNs(sec, threads, n, 1), hash_frac);
-      std::printf(" %20s", cell);
+      if (reporter.enabled()) {
+        BenchRecord r;
+        r.Param("distribution", DistributionName(d))
+            .Param("log_n", flags.GetUint("log_n", 22))
+            .Param("log_k", lk)
+            .Param("threads", threads);
+        r.Metric("element_time_ns", ElementTimeNs(sec, threads, n, 1))
+            .Metric("hash_fraction", hash_frac);
+        r.Timing(timing).Stats(stats);
+        reporter.Emit(r);
+      } else {
+        char cell[32];
+        std::snprintf(cell, sizeof(cell), "%.1f (%.2f)",
+                      ElementTimeNs(sec, threads, n, 1), hash_frac);
+        std::printf(" %20s", cell);
+      }
     }
-    std::printf("\n");
+    if (!reporter.enabled()) std::printf("\n");
   }
   return 0;
 }

@@ -5,7 +5,7 @@
 // reduction factor alpha. The crossover of the two strategies is the
 // machine constant alpha0 (~11 on the paper's testbed).
 //
-// Usage: fig10_alpha_threshold [--log_n=22] [--threads=N]
+// Usage: fig10_alpha_threshold [--log_n=22] [--threads=N] [--json[=PATH]]
 
 #include <cstdio>
 #include <string>
@@ -58,11 +58,15 @@ int main(int argc, char** argv) {
     datasets.push_back({"heavy-hitter/f" + std::to_string(f).substr(0, 4), gp});
   }
 
-  std::printf("# Figure 10: HashingOnly vs PartitionAlways(2) as a function "
-              "of the observed alpha; N=2^%llu, P=%d\n",
-              (unsigned long long)flags.GetUint("log_n", 22), threads);
-  std::printf("%-26s %10s %14s %14s %10s\n", "dataset", "alpha",
-              "hashing[ns]", "partition[ns]", "winner");
+  BenchReporter reporter("fig10_alpha_threshold", flags);
+
+  if (!reporter.enabled()) {
+    std::printf("# Figure 10: HashingOnly vs PartitionAlways(2) as a "
+                "function of the observed alpha; N=2^%llu, P=%d\n",
+                (unsigned long long)flags.GetUint("log_n", 22), threads);
+    std::printf("%-26s %10s %14s %14s %10s\n", "dataset", "alpha",
+                "hashing[ns]", "partition[ns]", "winner");
+  }
 
   for (const DataSet& ds : datasets) {
     std::vector<uint64_t> keys = GenerateKeys(ds.gp);
@@ -71,27 +75,50 @@ int main(int argc, char** argv) {
     hash_opt.num_threads = threads;
     hash_opt.policy = AggregationOptions::PolicyKind::kHashingOnly;
     ExecStats stats;
-    double hash_sec = TimeAggregation(keys, {}, {}, hash_opt, reps, &stats);
+    TimingStats hash_t;
+    double hash_sec = TimeAggregation(keys, {}, {}, hash_opt, reps, &stats,
+                                      nullptr, &hash_t);
 
     AggregationOptions part_opt;
     part_opt.num_threads = threads;
     part_opt.policy = AggregationOptions::PolicyKind::kPartitionAlways;
     part_opt.partition_passes = 2;
     part_opt.k_hint = ds.gp.k;
-    double part_sec = TimeAggregation(keys, {}, {}, part_opt, reps);
+    TimingStats part_t;
+    double part_sec = TimeAggregation(keys, {}, {}, part_opt, reps, nullptr,
+                                      nullptr, &part_t);
 
-    char alpha_str[16];
-    if (stats.num_alpha == 0) {
-      std::snprintf(alpha_str, sizeof(alpha_str), "inf");  // never flushed
+    if (reporter.enabled()) {
+      BenchRecord r;
+      r.Param("dataset", ds.label)
+          .Param("log_n", flags.GetUint("log_n", 22))
+          .Param("threads", threads);
+      if (stats.num_alpha != 0) {
+        r.Metric("mean_alpha", stats.mean_alpha());
+      }
+      r.Metric("hashing_element_time_ns", ElementTimeNs(hash_sec, threads, n, 1))
+          .Metric("partition_element_time_ns",
+                  ElementTimeNs(part_sec, threads, n, 1));
+      r.Param("winner", hash_sec < part_sec ? "hashing" : "partition");
+      r.Timing(hash_t).Stats(stats);
+      reporter.Emit(r);
     } else {
-      std::snprintf(alpha_str, sizeof(alpha_str), "%.2f", stats.mean_alpha());
+      char alpha_str[16];
+      if (stats.num_alpha == 0) {
+        std::snprintf(alpha_str, sizeof(alpha_str), "inf");  // never flushed
+      } else {
+        std::snprintf(alpha_str, sizeof(alpha_str), "%.2f",
+                      stats.mean_alpha());
+      }
+      std::printf("%-26s %10s %14.2f %14.2f %10s\n", ds.label.c_str(),
+                  alpha_str, ElementTimeNs(hash_sec, threads, n, 1),
+                  ElementTimeNs(part_sec, threads, n, 1),
+                  hash_sec < part_sec ? "hashing" : "partition");
     }
-    std::printf("%-26s %10s %14.2f %14.2f %10s\n", ds.label.c_str(),
-                alpha_str, ElementTimeNs(hash_sec, threads, n, 1),
-                ElementTimeNs(part_sec, threads, n, 1),
-                hash_sec < part_sec ? "hashing" : "partition");
   }
-  std::printf("\n# alpha0 should separate 'hashing' winners (high alpha) "
-              "from 'partition' winners (low alpha).\n");
+  if (!reporter.enabled()) {
+    std::printf("\n# alpha0 should separate 'hashing' winners (high alpha) "
+                "from 'partition' winners (low alpha).\n");
+  }
   return 0;
 }

@@ -4,7 +4,7 @@
 // HashingOnly; large c approaches PartitionAlways throughput but reacts
 // slower to distribution changes.
 //
-// Usage: fig11_c_constant [--log_n=22] [--threads=N]
+// Usage: fig11_c_constant [--log_n=22] [--threads=N] [--json[=PATH]]
 
 #include <cstdio>
 #include <vector>
@@ -26,12 +26,16 @@ int main(int argc, char** argv) {
                                           uint64_t{1} << 40};
   const std::vector<int> k_logs = {10, 16, 20};
 
-  std::printf("# Figure 11: impact of c on ADAPTIVE, uniform data, "
-              "N=2^%llu, P=%d (element time, ns)\n",
-              (unsigned long long)flags.GetUint("log_n", 22), threads);
-  std::printf("%10s", "c");
-  for (int lk : k_logs) std::printf("   K=2^%-8d", lk);
-  std::printf("\n");
+  BenchReporter reporter("fig11_c_constant", flags);
+
+  if (!reporter.enabled()) {
+    std::printf("# Figure 11: impact of c on ADAPTIVE, uniform data, "
+                "N=2^%llu, P=%d (element time, ns)\n",
+                (unsigned long long)flags.GetUint("log_n", 22), threads);
+    std::printf("%10s", "c");
+    for (int lk : k_logs) std::printf("   K=2^%-8d", lk);
+    std::printf("\n");
+  }
 
   std::vector<std::vector<uint64_t>> keysets;
   for (int lk : k_logs) {
@@ -42,19 +46,34 @@ int main(int argc, char** argv) {
   }
 
   for (uint64_t c : c_values) {
-    if (c == (uint64_t{1} << 40)) {
-      std::printf("%10s", "inf");
-    } else {
-      std::printf("%10llu", (unsigned long long)c);
+    if (!reporter.enabled()) {
+      if (c == (uint64_t{1} << 40)) {
+        std::printf("%10s", "inf");
+      } else {
+        std::printf("%10llu", (unsigned long long)c);
+      }
     }
     for (size_t i = 0; i < k_logs.size(); ++i) {
       AggregationOptions options;
       options.num_threads = threads;
       options.c = c;
-      double sec = TimeAggregation(keysets[i], {}, {}, options, reps);
-      std::printf("   %11.2f", ElementTimeNs(sec, threads, n, 1));
+      TimingStats timing;
+      double sec = TimeAggregation(keysets[i], {}, {}, options, reps,
+                                   nullptr, nullptr, &timing);
+      if (reporter.enabled()) {
+        BenchRecord r;
+        r.Param("c", c)
+            .Param("log_n", flags.GetUint("log_n", 22))
+            .Param("log_k", k_logs[i])
+            .Param("threads", threads);
+        r.Metric("element_time_ns", ElementTimeNs(sec, threads, n, 1));
+        r.Timing(timing);
+        reporter.Emit(r);
+      } else {
+        std::printf("   %11.2f", ElementTimeNs(sec, threads, n, 1));
+      }
     }
-    std::printf("\n");
+    if (!reporter.enabled()) std::printf("\n");
   }
   return 0;
 }

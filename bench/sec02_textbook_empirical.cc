@@ -11,7 +11,7 @@
 // The optimized variants converge — "hashing is sorting".
 //
 // Usage: sec02_textbook_empirical [--log_n=21] [--min_k_log=4]
-//        [--max_k_log=20]
+//        [--max_k_log=20] [--json[=PATH]]
 
 #include <cstdio>
 #include <vector>
@@ -29,12 +29,15 @@ int main(int argc, char** argv) {
   const int min_k = static_cast<int>(flags.GetUint("min_k_log", 4));
   const int max_k = static_cast<int>(flags.GetUint("max_k_log", 20));
   const int reps = static_cast<int>(flags.GetUint("reps", 1));
+  BenchReporter reporter("sec02_textbook_empirical", flags);
 
-  std::printf("# Section 2 empirically: naive vs optimized, uniform data, "
-              "N=2^%llu, single-threaded (element time, ns)\n",
-              (unsigned long long)flags.GetUint("log_n", 21));
-  std::printf("%8s %14s %14s %14s %14s %14s\n", "log2(K)", "hash(naive)",
-              "sort(naive)", "hash(opt)", "sort(opt)", "mergesort(ea)");
+  if (!reporter.enabled()) {
+    std::printf("# Section 2 empirically: naive vs optimized, uniform data, "
+                "N=2^%llu, single-threaded (element time, ns)\n",
+                (unsigned long long)flags.GetUint("log_n", 21));
+    std::printf("%8s %14s %14s %14s %14s %14s\n", "log2(K)", "hash(naive)",
+                "sort(naive)", "hash(opt)", "sort(opt)", "mergesort(ea)");
+  }
 
   for (int lk = min_k; lk <= max_k; lk += 2) {
     GenParams gp;
@@ -42,40 +45,64 @@ int main(int argc, char** argv) {
     gp.k = uint64_t{1} << lk;
     std::vector<uint64_t> keys = GenerateKeys(gp);
 
-    double naive_hash = MedianSeconds(reps, [&] {
+    auto emit = [&](const char* name, const TimingStats& timing) {
+      if (!reporter.enabled()) return;
+      BenchRecord r;
+      r.Param("algorithm", name)
+          .Param("log_n", flags.GetUint("log_n", 21))
+          .Param("log_k", lk)
+          .Param("threads", 1);
+      r.Metric("element_time_ns", ElementTimeNs(timing.median_s, 1, n, 1));
+      r.Timing(timing);
+      reporter.Emit(r);
+    };
+
+    TimingStats naive_hash_t = MeasureSeconds(reps, [&] {
       GroupCounts out = TextbookHashAggregation(keys.data(), n, gp.k);
       DoNotOptimize(out.keys.data());
     });
-    double naive_sort = MedianSeconds(reps, [&] {
+    emit("hash(naive)", naive_hash_t);
+    TimingStats naive_sort_t = MeasureSeconds(reps, [&] {
       GroupCounts out = TextbookSortAggregation(
           keys.data(), n, machine.l3_bytes_per_thread);
       DoNotOptimize(out.keys.data());
     });
+    emit("sort(naive)", naive_sort_t);
 
-    auto run_opt = [&](AggregationOptions::PolicyKind policy, int passes) {
+    auto run_opt = [&](const char* name,
+                       AggregationOptions::PolicyKind policy, int passes) {
       AggregationOptions options;
       options.num_threads = 1;
       options.policy = policy;
       options.partition_passes = passes;
       options.k_hint = gp.k;
-      return TimeAggregation(keys, {}, {}, options, reps);
+      TimingStats timing;
+      double sec =
+          TimeAggregation(keys, {}, {}, options, reps, nullptr, nullptr,
+                          &timing);
+      emit(name, timing);
+      return sec;
     };
-    double opt_hash = run_opt(AggregationOptions::PolicyKind::kHashingOnly, 0);
-    double opt_sort =
-        run_opt(AggregationOptions::PolicyKind::kPartitionAlways, 2);
+    double opt_hash = run_opt("hash(opt)",
+                              AggregationOptions::PolicyKind::kHashingOnly, 0);
+    double opt_sort = run_opt(
+        "sort(opt)", AggregationOptions::PolicyKind::kPartitionAlways, 2);
 
-    double mergesort_ea = MedianSeconds(reps, [&] {
+    TimingStats mergesort_t = MeasureSeconds(reps, [&] {
       GroupCounts out = MergeSortEarlyAggregation(
           keys.data(), n, machine.l3_bytes_per_thread / 16 / sizeof(uint64_t));
       DoNotOptimize(out.keys.data());
     });
+    emit("mergesort(ea)", mergesort_t);
 
-    std::printf("%8d %14.2f %14.2f %14.2f %14.2f %14.2f\n", lk,
-                ElementTimeNs(naive_hash, 1, n, 1),
-                ElementTimeNs(naive_sort, 1, n, 1),
-                ElementTimeNs(opt_hash, 1, n, 1),
-                ElementTimeNs(opt_sort, 1, n, 1),
-                ElementTimeNs(mergesort_ea, 1, n, 1));
+    if (!reporter.enabled()) {
+      std::printf("%8d %14.2f %14.2f %14.2f %14.2f %14.2f\n", lk,
+                  ElementTimeNs(naive_hash_t.median_s, 1, n, 1),
+                  ElementTimeNs(naive_sort_t.median_s, 1, n, 1),
+                  ElementTimeNs(opt_hash, 1, n, 1),
+                  ElementTimeNs(opt_sort, 1, n, 1),
+                  ElementTimeNs(mergesort_t.median_s, 1, n, 1));
+    }
   }
   return 0;
 }

@@ -12,7 +12,7 @@
 //                 exact-key table (effectively an NSM operator)
 //
 // Usage: sec33_processing_models [--log_n=21] [--agg_cols=4]
-//        [--min_k_log=4] [--max_k_log=20]
+//        [--min_k_log=4] [--max_k_log=20] [--json[=PATH]]
 
 #include <cstdio>
 #include <vector>
@@ -43,12 +43,16 @@ int main(int argc, char** argv) {
     specs.push_back({AggFn::kSum, c});
   }
 
-  std::printf("# Section 3.3: processing models, %d SUM columns, uniform, "
-              "N=2^%llu, 1 thread (element time over %d columns, ns)\n",
-              agg_cols, (unsigned long long)flags.GetUint("log_n", 21),
-              1 + agg_cols);
-  std::printf("%8s %14s %14s %14s\n", "log2(K)", "integrated",
-              "col-at-time", "row-at-time");
+  BenchReporter reporter("sec33_processing_models", flags);
+
+  if (!reporter.enabled()) {
+    std::printf("# Section 3.3: processing models, %d SUM columns, uniform, "
+                "N=2^%llu, 1 thread (element time over %d columns, ns)\n",
+                agg_cols, (unsigned long long)flags.GetUint("log_n", 21),
+                1 + agg_cols);
+    std::printf("%8s %14s %14s %14s\n", "log2(K)", "integrated",
+                "col-at-time", "row-at-time");
+  }
 
   for (int lk = min_k; lk <= max_k; lk += 2) {
     GenParams gp;
@@ -61,17 +65,35 @@ int main(int argc, char** argv) {
     for (const Column* c : value_ptrs) input.values.push_back(c->data());
     input.num_rows = n;
 
+    const int cols = 1 + agg_cols;
+    auto emit = [&](const char* model, const TimingStats& timing) {
+      if (!reporter.enabled()) return;
+      BenchRecord r;
+      r.Param("model", model)
+          .Param("log_n", flags.GetUint("log_n", 21))
+          .Param("log_k", lk)
+          .Param("agg_cols", agg_cols);
+      r.Metric("element_time_ns",
+               ElementTimeNs(timing.median_s, 1, n, cols));
+      r.Timing(timing);
+      reporter.Emit(r);
+    };
+
     AggregationOptions options;
     options.num_threads = 1;
-    double integrated =
-        TimeAggregation(keys, specs, value_ptrs, options, reps);
+    TimingStats integrated_t;
+    double integrated = TimeAggregation(keys, specs, value_ptrs, options,
+                                        reps, nullptr, nullptr,
+                                        &integrated_t);
+    emit("integrated", integrated_t);
 
-    double col_at_time = MedianSeconds(reps, [&] {
+    TimingStats col_t = MeasureSeconds(reps, [&] {
       ResultTable r = ColumnAtATimeAggregate(input, specs, gp.k);
       DoNotOptimize(r.keys.data());
     });
+    emit("col-at-time", col_t);
 
-    double row_at_time = MedianSeconds(reps, [&] {
+    TimingStats row_t = MeasureSeconds(reps, [&] {
       StateLayout layout(specs);
       Morsel m;
       m.key_cols = {keys.data()};
@@ -82,12 +104,14 @@ int main(int argc, char** argv) {
       AggregateExact({m}, 1, layout, gp.k, &out);
       DoNotOptimize(out.size());
     });
+    emit("row-at-time", row_t);
 
-    const int cols = 1 + agg_cols;
-    std::printf("%8d %14.2f %14.2f %14.2f\n", lk,
-                ElementTimeNs(integrated, 1, n, cols),
-                ElementTimeNs(col_at_time, 1, n, cols),
-                ElementTimeNs(row_at_time, 1, n, cols));
+    if (!reporter.enabled()) {
+      std::printf("%8d %14.2f %14.2f %14.2f\n", lk,
+                  ElementTimeNs(integrated, 1, n, cols),
+                  ElementTimeNs(col_t.median_s, 1, n, cols),
+                  ElementTimeNs(row_t.median_s, 1, n, cols));
+    }
   }
   return 0;
 }

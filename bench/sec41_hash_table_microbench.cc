@@ -4,6 +4,7 @@
 // insertion, which is what makes the external-memory analysis meaningful.
 //
 // Usage: sec41_hash_table_microbench [--log_n=23] [--reps=3]
+//        [--json[=PATH]]
 
 #include <cstdio>
 #include <vector>
@@ -26,12 +27,34 @@ int main(int argc, char** argv) {
 
   cea::StateLayout layout(std::vector<cea::AggregateSpec>{});
   cea::BlockedOpenHashTable table(table_bytes, layout);
+  cea::bench::BenchReporter reporter("sec41_hash_table_microbench", flags);
 
-  std::printf("# Section 4.1: hash table insertion cost "
-              "(table %.1f MiB, %u slots, fill cap %u)\n",
-              table_bytes / 1048576.0, table.capacity(),
-              table.max_fill_slots());
-  std::printf("%-28s %12s\n", "scenario", "ns/insert");
+  if (!reporter.enabled()) {
+    std::printf("# Section 4.1: hash table insertion cost "
+                "(table %.1f MiB, %u slots, fill cap %u)\n",
+                table_bytes / 1048576.0, table.capacity(),
+                table.max_fill_slots());
+    std::printf("%-28s %12s\n", "scenario", "ns/insert");
+  }
+
+  auto emit = [&](const char* scenario, uint64_t k_groups, size_t inserts,
+                  const cea::bench::TimingStats& timing) {
+    if (reporter.enabled()) {
+      cea::bench::BenchRecord r;
+      r.Param("scenario", scenario)
+          .Param("k_groups", k_groups)
+          .Param("log_n", flags.GetUint("log_n", 23))
+          .Param("table_bytes", uint64_t{table_bytes});
+      r.Metric("ns_per_insert", timing.median_s / inserts * 1e9);
+      r.Timing(timing);
+      reporter.Emit(r);
+    } else {
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s, K=%llu", scenario,
+                    (unsigned long long)k_groups);
+      std::printf("%-28s %12.2f\n", label, timing.median_s / inserts * 1e9);
+    }
+  };
 
   cea::Rng rng(1);
   std::vector<uint64_t> keys(n);
@@ -40,17 +63,14 @@ int main(int argc, char** argv) {
   for (uint64_t k_groups : {uint64_t{64}, uint64_t{1} << 10,
                             uint64_t{table.max_fill_slots() / 4}}) {
     for (auto& k : keys) k = rng.NextBounded(k_groups);
-    double sec = cea::bench::MedianSeconds(reps, [&] {
+    cea::bench::TimingStats t = cea::bench::MeasureSeconds(reps, [&] {
       table.Clear();
       for (size_t i = 0; i < n; ++i) {
         uint32_t s = table.FindOrInsert(keys[i], cea::MurmurHash64(keys[i]), 0);
         cea::bench::DoNotOptimize(s);
       }
     });
-    char label[64];
-    std::snprintf(label, sizeof(label), "in-cache, K=%llu",
-                  (unsigned long long)k_groups);
-    std::printf("%-28s %12.2f\n", label, sec / n * 1e9);
+    emit("in-cache", k_groups, n, t);
   }
 
   // Out-of-cache: a growable exact table much larger than L3 — every
@@ -58,13 +78,13 @@ int main(int argc, char** argv) {
   {
     const size_t big_n = n / 2;
     for (size_t i = 0; i < big_n; ++i) keys[i] = rng.Next();
-    double sec = cea::bench::MedianSeconds(reps, [&] {
+    cea::bench::TimingStats t = cea::bench::MeasureSeconds(reps, [&] {
       cea::GrowableHashTable big(layout, big_n);
       for (size_t i = 0; i < big_n; ++i) {
         cea::bench::DoNotOptimize(big.FindOrInsert(keys[i]));
       }
     });
-    std::printf("%-28s %12.2f\n", "out-of-cache, K=N", sec / big_n * 1e9);
+    emit("out-of-cache", big_n, big_n, t);
   }
   return 0;
 }

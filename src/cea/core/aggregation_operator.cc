@@ -9,11 +9,30 @@
 
 namespace cea {
 
+namespace {
+
+// Trace-span routine tag of a pass segment, derived from the per-worker
+// row deltas (a pass may switch routines mid-stream).
+const char* RoutineLabel(uint64_t hashed, uint64_t partitioned) {
+  if (hashed != 0 && partitioned != 0) return "MIXED";
+  if (partitioned != 0) return "PARTITIONING";
+  if (hashed != 0) return "HASHING";
+  return "IDLE";
+}
+
+// Back-to-back exact tasks on a worker are merged into one trace span when
+// the gap between them is below this; a genuine stall or an interleaved
+// pass of another kind still starts a fresh span.
+constexpr uint64_t kExactSpanGapNs = 25'000;
+
+}  // namespace
+
 // One recursive pass: all runs of one bucket at one level, cut into
 // morsels that the participating worker tasks claim from the shared
 // cursor. The last worker to finish runs the continuation (CompletePass).
 struct AggregationOperator::Pass {
   int level = 0;
+  uint64_t id = 0;  // ordinal among scheduled passes; tags trace spans
   std::vector<Morsel> morsels;
   size_t total_rows = 0;
   Bucket source;  // keeps run memory alive for the duration of the pass
@@ -46,6 +65,10 @@ AggregationOperator::AggregationOperator(std::vector<AggregateSpec> specs,
       break;
   }
   scheduler_ = std::make_unique<TaskScheduler>(options_.num_threads);
+  if (options_.obs != nullptr && options_.obs->trace_enabled()) {
+    // Size the per-worker span buffers before any pass records into them.
+    options_.obs->trace().EnsureThreads(options_.num_threads);
+  }
   EnsureResources(/*key_words=*/1);
   worker_stats_.resize(options_.num_threads);
   worker_finals_.resize(options_.num_threads);
@@ -102,6 +125,10 @@ void AggregationOperator::ResetExecutionState() {
   shortcut_finals_.clear();
   shortcut_stats_ = ExecStats{};
   num_passes_.store(0, std::memory_order_relaxed);
+  num_exact_.store(0, std::memory_order_relaxed);
+  // An aborted previous execution may have left counter intervals
+  // accumulated but never collected; they must not leak into this run.
+  for (auto& r : resources_) r->counters().TakeTotal();
 }
 
 void AggregationOperator::CollectResult(ResultTable* result,
@@ -112,6 +139,11 @@ void AggregationOperator::CollectResult(ResultTable* result,
     for (const ExecStats& s : worker_stats_) stats->Merge(s);
     stats->Merge(shortcut_stats_);
     stats->passes = num_passes_.load(std::memory_order_relaxed);
+  }
+  if (options_.obs != nullptr && options_.obs->counters_enabled()) {
+    obs::PerfSample totals;
+    for (auto& r : resources_) totals.Accumulate(r->counters().TakeTotal());
+    options_.obs->SetCounterTotals(totals);
   }
 }
 
@@ -180,6 +212,14 @@ Status AggregationOperator::ConsumeBatch(const InputTable& batch) {
 
   auto start = std::chrono::steady_clock::now();
   const size_t step = resources_[0]->max_morsel_rows();
+  // Streaming runs on the caller's thread against worker slot 0; the
+  // counter bundle re-attaches to this thread on the first interval.
+  ExecStats& ws = worker_stats_[0];
+  obs::PassScope span(options_.obs, &resources_[0]->counters(), /*tid=*/0,
+                      "stream_batch", /*level=*/0, /*pass_id=*/0);
+  const uint64_t hashed0 = ws.rows_hashed;
+  const uint64_t partitioned0 = ws.rows_partitioned;
+  span.set_rows(batch.num_rows);
   try {
     for (size_t off = 0; off < batch.num_rows; off += step) {
       Morsel m;
@@ -208,6 +248,8 @@ Status AggregationOperator::ConsumeBatch(const InputTable& batch) {
     return Status::RuntimeError(
         "stream batch failed: non-standard exception");
   }
+  span.set_routine(RoutineLabel(ws.rows_hashed - hashed0,
+                                ws.rows_partitioned - partitioned0));
   stream_rows_ += batch.num_rows;
   worker_stats_[0].seconds_at_level[0] +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -299,7 +341,7 @@ void AggregationOperator::ScheduleRootPass(const InputTable& input) {
 }
 
 void AggregationOperator::SchedulePass(std::shared_ptr<Pass> pass) {
-  num_passes_.fetch_add(1, std::memory_order_relaxed);
+  pass->id = num_passes_.fetch_add(1, std::memory_order_relaxed);
   int tasks = static_cast<int>(
       std::min<size_t>(pass->morsels.size(), scheduler_->num_threads()));
   // Splitting a small bucket across workers costs more than it gains: a
@@ -322,28 +364,38 @@ void AggregationOperator::RunPassWorker(const std::shared_ptr<Pass>& pass,
                                         int worker_id) {
   if (options_.fault_hook) options_.fault_hook(pass->level);
   auto start = std::chrono::steady_clock::now();
-  std::unique_ptr<PassContext> ctx;
-  const size_t num_morsels = pass->morsels.size();
-  for (size_t i = pass->cursor.fetch_add(1, std::memory_order_relaxed);
-       i < num_morsels;
-       i = pass->cursor.fetch_add(1, std::memory_order_relaxed)) {
-    if (!ctx) {
-      ctx = std::make_unique<PassContext>(layout_, *policy_,
-                                          resources_[worker_id].get(),
-                                          pass->level,
-                                          &worker_stats_[worker_id]);
+  {
+    ExecStats& ws = worker_stats_[worker_id];
+    obs::PassScope span(options_.obs, &resources_[worker_id]->counters(),
+                        worker_id, "pass", pass->level, pass->id);
+    const uint64_t hashed0 = ws.rows_hashed;
+    const uint64_t partitioned0 = ws.rows_partitioned;
+    std::unique_ptr<PassContext> ctx;
+    const size_t num_morsels = pass->morsels.size();
+    for (size_t i = pass->cursor.fetch_add(1, std::memory_order_relaxed);
+         i < num_morsels;
+         i = pass->cursor.fetch_add(1, std::memory_order_relaxed)) {
+      if (!ctx) {
+        ctx = std::make_unique<PassContext>(layout_, *policy_,
+                                            resources_[worker_id].get(),
+                                            pass->level,
+                                            &worker_stats_[worker_id]);
+      }
+      ctx->ProcessMorsel(pass->morsels[i]);
     }
-    ctx->ProcessMorsel(pass->morsels[i]);
-  }
-  if (ctx) {
-    Run final_run(key_words_, layout_);
-    if (ctx->Finalize(pass->total_rows, &final_run)) {
-      worker_finals_[worker_id].push_back(std::move(final_run));
-      ctx.reset();  // nothing left to collect
-    } else {
-      std::lock_guard<std::mutex> lock(pass->contexts_mutex);
-      pass->contexts.push_back(std::move(ctx));
+    if (ctx) {
+      span.set_rows(ctx->rows_processed());
+      Run final_run(key_words_, layout_);
+      if (ctx->Finalize(pass->total_rows, &final_run)) {
+        worker_finals_[worker_id].push_back(std::move(final_run));
+        ctx.reset();  // nothing left to collect
+      } else {
+        std::lock_guard<std::mutex> lock(pass->contexts_mutex);
+        pass->contexts.push_back(std::move(ctx));
+      }
     }
+    span.set_routine(RoutineLabel(ws.rows_hashed - hashed0,
+                                  ws.rows_partitioned - partitioned0));
   }
   worker_stats_[worker_id].seconds_at_level[pass->level] +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -405,20 +457,42 @@ void AggregationOperator::ScheduleExact(std::vector<Morsel> morsels,
   scheduler_->Submit([this, morsels_ptr, source_ptr, level,
                       expected](int worker_id) {
     if (options_.fault_hook) options_.fault_hook(level);
+    // Exact tasks are often sub-microsecond (one per tiny bucket), so the
+    // instrumentation piggybacks on the clock reads the stats below need
+    // anyway and coalesces adjacent spans instead of storing one per task.
+    obs::ObsContext* obs = options_.obs;
+    obs::WorkerCounters* wc = obs != nullptr && obs->counters_enabled()
+                                  ? &resources_[worker_id]->counters()
+                                  : nullptr;
+    if (wc != nullptr) wc->BeginInterval();
     auto start = std::chrono::steady_clock::now();
+    size_t rows = 0;
+    for (const Morsel& m : *morsels_ptr) rows += m.n;
     Run final_run(key_words_, layout_);
     AggregateExact(*morsels_ptr, key_words_, layout_, expected, &final_run);
+    auto end = std::chrono::steady_clock::now();
+    if (obs != nullptr) {
+      obs::TraceSpan span;
+      span.name = "exact";
+      span.routine = "EXACT";
+      span.tid = worker_id;
+      span.level = level;
+      span.pass_id = num_exact_.fetch_add(1, std::memory_order_relaxed);
+      span.rows = rows;
+      if (wc != nullptr) span.counters = wc->EndInterval();
+      if (obs->trace_enabled()) {
+        span.start_ns = obs->trace().NsSinceEpoch(start);
+        span.dur_ns = obs->trace().NsSinceEpoch(end) - span.start_ns;
+        obs->trace().RecordCoalesced(worker_id, span, kExactSpanGapNs);
+      }
+    }
     ExecStats& st = worker_stats_[worker_id];
     if (level >= kMaxRadixLevel) st.fallback_buckets += 1;
     st.final_hash_passes += 1;
-    size_t rows = 0;
-    for (const Morsel& m : *morsels_ptr) rows += m.n;
     int l = std::min(level, kMaxRadixLevel);
     st.rows_hashed += rows;
     st.rows_hashed_at_level[l] += rows;
-    st.seconds_at_level[l] +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
+    st.seconds_at_level[l] += std::chrono::duration<double>(end - start).count();
     st.max_level = std::max(st.max_level, l);
     worker_finals_[worker_id].push_back(std::move(final_run));
   });

@@ -33,6 +33,7 @@
 #include "cea/core/policy.h"
 #include "cea/core/routines.h"
 #include "cea/exec/task_scheduler.h"
+#include "cea/obs/obs.h"
 
 namespace cea {
 
@@ -68,6 +69,13 @@ struct AggregationOptions {
   size_t k_hint = 0;
 
   MachineInfo machine = DetectMachine();
+
+  // Optional observability session (hardware counters + trace spans per
+  // pass). Non-owning; must outlive the operator. With nullptr the hot
+  // path pays a single pointer test per pass. Counter totals of each
+  // execution are written back into the context at result collection; the
+  // trace accumulates across executions until ObsContext::trace().Clear().
+  obs::ObsContext* obs = nullptr;
 
   // Test-only fault injection for the correctness harness: when set, every
   // scheduled pass/fallback task invokes this with its radix level before
@@ -142,6 +150,7 @@ class AggregationOperator {
   std::vector<Run> shortcut_finals_;
   ExecStats shortcut_stats_;
   std::atomic<uint64_t> num_passes_{0};
+  std::atomic<uint64_t> num_exact_{0};  // ids for "exact" trace spans
 
   // Streaming-mode state (single producer; see BeginStream).
   std::unique_ptr<PassContext> stream_ctx_;

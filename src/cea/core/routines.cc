@@ -8,6 +8,20 @@
 
 namespace cea {
 
+// Layout canary: a field added to ExecStats without extending Merge()
+// (and ExecStatsToJson / FormatExecStats) silently drops telemetry when
+// per-worker stats are merged. Growing the struct trips this assert;
+// update Merge(), the JSON/text serializers, the stats tests, and then the
+// expected size. (LP64 layout: 9 u64 counters, padded int, double, u64,
+// then three per-level arrays.)
+#if defined(__x86_64__) || defined(__aarch64__)
+static_assert(sizeof(ExecStats) ==
+                  12 * sizeof(uint64_t) +
+                      3 * sizeof(std::array<uint64_t, kMaxRadixLevel + 1>),
+              "ExecStats changed: update Merge(), ExecStatsToJson(), "
+              "FormatExecStats() and this canary");
+#endif
+
 void ExecStats::Merge(const ExecStats& other) {
   rows_hashed += other.rows_hashed;
   rows_partitioned += other.rows_partitioned;

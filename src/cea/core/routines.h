@@ -30,6 +30,7 @@
 #include "cea/core/run.h"
 #include "cea/hash/radix.h"
 #include "cea/mem/swc_buffer.h"
+#include "cea/obs/perf_counters.h"
 #include "cea/table/blocked_hash_table.h"
 
 namespace cea {
@@ -97,6 +98,11 @@ class WorkerResources {
   size_t max_morsel_rows() const { return slots_.size(); }
   int key_words() const { return key_words_; }
 
+  // Hardware counters of this worker slot; intervals are opened around
+  // each pass by the operator when an ObsContext is attached and stay
+  // dormant (no perf fds) otherwise.
+  obs::WorkerCounters& counters() { return counters_; }
+
   // Restores the invariants PassContext's constructor relies on after an
   // aborted pass (error-propagation path): buffered SWC lines are garbage
   // and their destinations point into freed runs, so drop both and empty
@@ -114,6 +120,7 @@ class WorkerResources {
   std::vector<uint8_t> dests_;   // partitioning mapping vector (digit per row)
   std::vector<std::unique_ptr<SwcWriter>> key_writers_;
   std::vector<std::unique_ptr<SwcWriter>> state_writers_;
+  obs::WorkerCounters counters_;
 };
 
 // Per-(worker, pass) execution state.

@@ -5,6 +5,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "cea/obs/json_writer.h"
+
 namespace cea {
 namespace {
 
@@ -53,14 +55,96 @@ std::string FormatExecStats(const ExecStats& stats) {
   return out;
 }
 
-std::string ResultToCsv(const ResultTable& table, size_t max_rows) {
-  std::string out = "key";
-  for (size_t w = 0; w < table.extra_keys.size(); ++w) {
-    Appendf(&out, ",key%zu", w + 1);
+std::string ExecStatsToJson(const ExecStats& stats) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("rows_hashed").Uint(stats.rows_hashed);
+  w.Key("rows_partitioned").Uint(stats.rows_partitioned);
+  w.Key("tables_flushed").Uint(stats.tables_flushed);
+  w.Key("switches_to_partition").Uint(stats.switches_to_partition);
+  w.Key("switches_to_hash").Uint(stats.switches_to_hash);
+  w.Key("final_hash_passes").Uint(stats.final_hash_passes);
+  w.Key("distinct_shortcut_runs").Uint(stats.distinct_shortcut_runs);
+  w.Key("fallback_buckets").Uint(stats.fallback_buckets);
+  w.Key("passes").Uint(stats.passes);
+  w.Key("max_level").Int(stats.max_level);
+  w.Key("sum_alpha").Double(stats.sum_alpha);
+  w.Key("num_alpha").Uint(stats.num_alpha);
+  w.Key("mean_alpha").Double(stats.mean_alpha());
+  w.Key("levels").BeginArray();
+  for (int l = 0; l <= stats.max_level &&
+                  l < static_cast<int>(stats.rows_hashed_at_level.size());
+       ++l) {
+    w.BeginObject();
+    w.Key("level").Int(l);
+    w.Key("rows_hashed").Uint(stats.rows_hashed_at_level[l]);
+    w.Key("rows_partitioned").Uint(stats.rows_partitioned_at_level[l]);
+    w.Key("seconds").Double(stats.seconds_at_level[l]);
+    w.EndObject();
   }
-  for (const ResultColumn& col : table.aggregates) {
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string MachineInfoToJson(const MachineInfo& info) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("hardware_threads").Int(info.hardware_threads);
+  w.Key("l3_bytes_total").Uint(info.l3_bytes_total);
+  w.Key("l3_bytes_per_thread").Uint(info.l3_bytes_per_thread);
+  w.Key("cache_line_bytes").Uint(kCacheLineBytes);
+  w.EndObject();
+  return w.str();
+}
+
+std::string PerfSampleToJson(const obs::PerfSample& sample) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  for (int e = 0; e < obs::kNumPerfEvents; ++e) {
+    w.Key(obs::PerfEventName(e));
+    if (sample.valid[e]) {
+      w.Uint(sample.value[e]);
+    } else {
+      w.Null();
+    }
+  }
+  w.EndObject();
+  return w.str();
+}
+
+std::string CsvEscapeField(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string ResultToCsv(const ResultTable& table, size_t max_rows) {
+  return ResultToCsv(table, max_rows, {});
+}
+
+std::string ResultToCsv(const ResultTable& table, size_t max_rows,
+                        const std::vector<std::string>& column_names) {
+  const size_t key_cols = 1 + table.extra_keys.size();
+  auto header = [&](size_t index, const std::string& fallback) {
+    const std::string& name =
+        index < column_names.size() ? column_names[index] : fallback;
+    return CsvEscapeField(name.empty() ? fallback : name);
+  };
+
+  std::string out = header(0, "key");
+  for (size_t w = 0; w < table.extra_keys.size(); ++w) {
     out += ",";
-    out += AggFnName(col.fn);
+    out += header(w + 1, "key" + std::to_string(w + 1));
+  }
+  for (size_t a = 0; a < table.aggregates.size(); ++a) {
+    out += ",";
+    out += header(key_cols + a, AggFnName(table.aggregates[a].fn));
   }
   out += "\n";
 

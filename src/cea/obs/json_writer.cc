@@ -1,0 +1,315 @@
+#include "cea/obs/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace cea::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  ValueSeparator();
+  out_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  if (!first_.empty()) first_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  ValueSeparator();
+  out_ += '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  if (!first_.empty()) first_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  ValueSeparator();
+  out_ += '"';
+  out_ += JsonEscape(name);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view v) {
+  ValueSeparator();
+  out_ += '"';
+  out_ += JsonEscape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t v) {
+  ValueSeparator();
+  char buf[24];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, p);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t v) {
+  ValueSeparator();
+  char buf[24];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, p);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double v) {
+  if (!std::isfinite(v)) return Null();
+  ValueSeparator();
+  char buf[32];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, p);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  ValueSeparator();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  ValueSeparator();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  ValueSeparator();
+  out_ += json;
+  return *this;
+}
+
+void JsonWriter::ValueSeparator() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_ += ',';
+    first_.back() = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural validator: a recursive-descent parser that accepts exactly the
+// JSON grammar (RFC 8259) minus number-range checks.
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view t) : t_(t) {}
+
+  bool Parse() {
+    SkipWs();
+    if (!Value(0)) return false;
+    SkipWs();
+    return pos_ == t_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  bool Value(int depth) {
+    if (depth > kMaxDepth || pos_ >= t_.size()) return false;
+    switch (t_[pos_]) {
+      case '{':
+        return Object(depth);
+      case '[':
+        return Array(depth);
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object(int depth) {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value(depth + 1)) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array(int depth) {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!Value(depth + 1)) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < t_.size()) {
+      unsigned char c = static_cast<unsigned char>(t_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= t_.size()) return false;
+        char e = t_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= t_.size() || !IsHex(t_[pos_])) return false;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!IsDigit(Peek())) return false;
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (IsDigit(Peek())) ++pos_;
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      if (!IsDigit(Peek())) return false;
+      while (IsDigit(Peek())) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!IsDigit(Peek())) return false;
+      while (IsDigit(Peek())) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(std::string_view lit) {
+    if (t_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  static bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+  static bool IsHex(char c) {
+    return IsDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+  }
+
+  char Peek() const { return pos_ < t_.size() ? t_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < t_.size() && (t_[pos_] == ' ' || t_[pos_] == '\t' ||
+                                t_[pos_] == '\n' || t_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view t_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonLooksValid(std::string_view text) { return Parser(text).Parse(); }
+
+}  // namespace cea::obs

@@ -1,0 +1,65 @@
+// Minimal streaming JSON writer and structural validator.
+//
+// The observability layer emits three kinds of JSON — Chrome trace-event
+// files, ExecStats/machine records, and bench JSONL rows — and all of them
+// go through this writer so escaping and number formatting are handled in
+// exactly one place. No external dependencies; output is compact
+// (single-line) JSON suitable for append-only JSONL trajectory files.
+
+#ifndef CEA_OBS_JSON_WRITER_H_
+#define CEA_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cea::obs {
+
+// Escapes `s` for use inside a JSON string literal (quotes, backslashes,
+// control characters). Does not add the surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
+// Structural JSON validator (objects, arrays, strings, numbers, literals,
+// nesting depth <= 256). Used by tests and the CI bench-smoke job to make
+// sure every emitted record actually parses.
+bool JsonLooksValid(std::string_view text);
+
+// Comma/colon bookkeeping for hand-built JSON. Usage:
+//   JsonWriter w;
+//   w.BeginObject().Key("n").Uint(42).Key("name").String("x").EndObject();
+//   w.str();  // {"n":42,"name":"x"}
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Uint(uint64_t v);
+  JsonWriter& Int(int64_t v);
+  // Non-finite doubles become null (JSON has no inf/nan).
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+  // Splices a pre-serialized JSON value (e.g. ExecStatsToJson output).
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  bool empty() const { return out_.empty(); }
+  // Pre-size the output buffer (large exports: one trace event is ~150 B).
+  void Reserve(size_t bytes) { out_.reserve(bytes); }
+
+ private:
+  void ValueSeparator();
+
+  std::string out_;
+  std::vector<bool> first_;  // per open container: no element emitted yet
+  bool after_key_ = false;
+};
+
+}  // namespace cea::obs
+
+#endif  // CEA_OBS_JSON_WRITER_H_

@@ -1,0 +1,99 @@
+// Observability session: the object a caller attaches to an
+// AggregationOperator (via AggregationOptions::obs) or a bench harness to
+// collect hardware counters and trace spans for one or more executions.
+//
+//   cea::obs::ObsContext obs;                 // counters + trace
+//   options.obs = &obs;
+//   AggregationOperator op(specs, options);
+//   op.Execute(input, &result, &stats);
+//   obs.trace().WriteChromeJson("trace.json");  // view in Perfetto
+//   obs.counter_totals();                       // summed over all workers
+//
+// Everything degrades gracefully: with obs == nullptr the operator's hot
+// path pays one pointer test per pass; with counters unavailable (no
+// perf_event_open) spans still record and counter fields are absent/null.
+
+#ifndef CEA_OBS_OBS_H_
+#define CEA_OBS_OBS_H_
+
+#include "cea/obs/perf_counters.h"
+#include "cea/obs/trace.h"
+
+namespace cea::obs {
+
+class ObsContext {
+ public:
+  struct Options {
+    bool counters = true;
+    bool trace = true;
+  };
+
+  ObsContext() : ObsContext(Options{}) {}
+  explicit ObsContext(Options opts) : opts_(opts) {}
+
+  ObsContext(const ObsContext&) = delete;
+  ObsContext& operator=(const ObsContext&) = delete;
+
+  bool counters_enabled() const { return opts_.counters; }
+  bool trace_enabled() const { return opts_.trace; }
+
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+
+  // Counter deltas summed over every worker of the last collected
+  // execution; written by the operator when results are assembled.
+  // any_valid() is false when counting was unavailable.
+  const PerfSample& counter_totals() const { return totals_; }
+  void SetCounterTotals(const PerfSample& totals) { totals_ = totals; }
+
+ private:
+  Options opts_;
+  TraceRecorder trace_;
+  PerfSample totals_;
+};
+
+// RAII pass instrumentation used by the operator (and usable by benches
+// for custom sections). Construction starts the worker's counter interval
+// and timestamps the span; destruction stops the interval and records the
+// span. With ctx == nullptr every member is a no-op.
+class PassScope {
+ public:
+  PassScope(ObsContext* ctx, WorkerCounters* counters, int tid,
+            const char* name, int level, uint64_t pass_id) {
+    if (ctx == nullptr) return;
+    ctx_ = ctx;
+    span_.name = name;
+    span_.tid = tid;
+    span_.level = level;
+    span_.pass_id = pass_id;
+    if (ctx->counters_enabled() && counters != nullptr) {
+      counters_ = counters;
+      counters_->BeginInterval();
+    }
+    if (ctx->trace_enabled()) span_.start_ns = ctx->trace().NowNs();
+  }
+
+  ~PassScope() {
+    if (ctx_ == nullptr) return;
+    if (counters_ != nullptr) span_.counters = counters_->EndInterval();
+    if (ctx_->trace_enabled()) {
+      span_.dur_ns = ctx_->trace().NowNs() - span_.start_ns;
+      ctx_->trace().Record(span_.tid, span_);
+    }
+  }
+
+  PassScope(const PassScope&) = delete;
+  PassScope& operator=(const PassScope&) = delete;
+
+  void set_rows(uint64_t rows) { span_.rows = rows; }
+  void set_routine(const char* routine) { span_.routine = routine; }
+
+ private:
+  ObsContext* ctx_ = nullptr;
+  WorkerCounters* counters_ = nullptr;
+  TraceSpan span_;
+};
+
+}  // namespace cea::obs
+
+#endif  // CEA_OBS_OBS_H_

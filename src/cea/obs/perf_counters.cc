@@ -1,0 +1,164 @@
+#include "cea/obs/perf_counters.h"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define CEA_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace cea::obs {
+
+namespace {
+
+const char* const kEventNames[kNumPerfEvents] = {
+    "cycles",     "instructions", "llc_loads",     "llc_misses",
+    "l1d_misses", "dtlb_misses",  "branch_misses",
+};
+
+#if CEA_HAVE_PERF_EVENT
+
+constexpr uint64_t HwCache(uint64_t cache, uint64_t op, uint64_t result) {
+  return cache | (op << 8) | (result << 16);
+}
+
+struct EventDesc {
+  uint32_t type;
+  uint64_t config;
+};
+
+const EventDesc kEvents[kNumPerfEvents] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE, HwCache(PERF_COUNT_HW_CACHE_LL,
+                                 PERF_COUNT_HW_CACHE_OP_READ,
+                                 PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {PERF_TYPE_HW_CACHE, HwCache(PERF_COUNT_HW_CACHE_LL,
+                                 PERF_COUNT_HW_CACHE_OP_READ,
+                                 PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_HW_CACHE, HwCache(PERF_COUNT_HW_CACHE_L1D,
+                                 PERF_COUNT_HW_CACHE_OP_READ,
+                                 PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_HW_CACHE, HwCache(PERF_COUNT_HW_CACHE_DTLB,
+                                 PERF_COUNT_HW_CACHE_OP_READ,
+                                 PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+int OpenEvent(const EventDesc& desc, bool inherit) {
+  perf_event_attr attr;
+  __builtin_memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = desc.type;
+  attr.config = desc.config;
+  attr.disabled = 1;
+  attr.inherit = inherit ? 1 : 0;
+  // Kernel-side work is not the operator's; excluding it also lowers the
+  // perf_event_paranoid level required to open the event.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(__NR_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0));
+}
+
+#endif  // CEA_HAVE_PERF_EVENT
+
+}  // namespace
+
+const char* PerfEventName(int event) {
+  return (event >= 0 && event < kNumPerfEvents) ? kEventNames[event] : "?";
+}
+
+PerfCounterGroup::~PerfCounterGroup() { Close(); }
+
+int PerfCounterGroup::Open() {
+  if (opened_) return num_open_;
+  opened_ = true;
+#if CEA_HAVE_PERF_EVENT
+  for (int e = 0; e < kNumPerfEvents; ++e) {
+    int fd = OpenEvent(kEvents[e], opts_.inherit);
+    if (fd >= 0) {
+      fd_[e] = fd;
+      ++num_open_;
+    }
+  }
+#endif
+  return num_open_;
+}
+
+void PerfCounterGroup::Close() {
+#if CEA_HAVE_PERF_EVENT
+  for (int& fd : fd_) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+#endif
+  num_open_ = 0;
+  opened_ = false;
+}
+
+bool PerfCounterGroup::Read(int event, Reading* out) const {
+#if CEA_HAVE_PERF_EVENT
+  if (fd_[event] < 0) return false;
+  uint64_t buf[3] = {0, 0, 0};
+  ssize_t n = read(fd_[event], buf, sizeof(buf));
+  if (n != static_cast<ssize_t>(sizeof(buf))) return false;
+  out->value = buf[0];
+  out->enabled = buf[1];
+  out->running = buf[2];
+  return true;
+#else
+  (void)event;
+  (void)out;
+  return false;
+#endif
+}
+
+void PerfCounterGroup::Start() {
+#if CEA_HAVE_PERF_EVENT
+  for (int e = 0; e < kNumPerfEvents; ++e) {
+    if (fd_[e] < 0) continue;
+    ioctl(fd_[e], PERF_EVENT_IOC_ENABLE, 0);
+    if (!Read(e, &base_[e])) base_[e] = Reading{};
+  }
+#endif
+}
+
+PerfSample PerfCounterGroup::Stop() {
+  PerfSample sample;
+#if CEA_HAVE_PERF_EVENT
+  for (int e = 0; e < kNumPerfEvents; ++e) {
+    if (fd_[e] < 0) continue;
+    Reading now;
+    bool ok = Read(e, &now);
+    ioctl(fd_[e], PERF_EVENT_IOC_DISABLE, 0);
+    if (!ok) continue;
+    uint64_t value = now.value - base_[e].value;
+    uint64_t enabled = now.enabled - base_[e].enabled;
+    uint64_t running = now.running - base_[e].running;
+    if (running == 0) {
+      // Never scheduled during the interval: with other PMU users the
+      // kernel may not have multiplexed us in at all. A zero-length
+      // interval (enabled == 0) legitimately counted zero events.
+      if (enabled != 0) continue;
+      value = 0;
+    } else if (running < enabled) {
+      // Multiplexed: scale to the full interval, as perf stat does.
+      double scaled = static_cast<double>(value) *
+                      (static_cast<double>(enabled) /
+                       static_cast<double>(running));
+      value = static_cast<uint64_t>(scaled + 0.5);
+    }
+    sample.value[e] = value;
+    sample.valid[e] = true;
+  }
+#endif
+  return sample;
+}
+
+}  // namespace cea::obs

@@ -1,0 +1,91 @@
+#include "cea/obs/trace.h"
+
+#include <cstdio>
+
+#include "cea/obs/json_writer.h"
+
+namespace cea::obs {
+
+TraceRecorder::TraceRecorder(int num_threads)
+    : epoch_(std::chrono::steady_clock::now()) {
+  EnsureThreads(num_threads);
+}
+
+void TraceRecorder::EnsureThreads(int n) {
+  while (static_cast<int>(buffers_.size()) < n) {
+    buffers_.push_back(std::make_unique<PerThread>());
+    buffers_.back()->spans.reserve(256);
+  }
+}
+
+size_t TraceRecorder::num_spans() const {
+  size_t n = 0;
+  for (const auto& b : buffers_) n += b->spans.size();
+  return n;
+}
+
+void TraceRecorder::Clear() {
+  for (auto& b : buffers_) b->spans.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  JsonWriter w;
+  w.Reserve(64 + 160 * num_spans());
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ns");
+  w.Key("traceEvents").BeginArray();
+  // Thread-name metadata so Perfetto labels the rows.
+  for (size_t t = 0; t < buffers_.size(); ++t) {
+    if (buffers_[t]->spans.empty()) continue;
+    char label[32];
+    std::snprintf(label, sizeof(label), "worker %zu", t);
+    w.BeginObject();
+    w.Key("name").String("thread_name");
+    w.Key("ph").String("M");
+    w.Key("pid").Uint(0);
+    w.Key("tid").Uint(t);
+    w.Key("args").BeginObject().Key("name").String(label).EndObject();
+    w.EndObject();
+  }
+  for (const auto& buffer : buffers_) {
+    for (const TraceSpan& s : buffer->spans) {
+      w.BeginObject();
+      w.Key("name").String(s.name);
+      w.Key("cat").String("cea");
+      w.Key("ph").String("X");
+      w.Key("pid").Uint(0);
+      w.Key("tid").Int(s.tid);
+      // Chrome trace timestamps are microseconds (fractions allowed).
+      w.Key("ts").Double(static_cast<double>(s.start_ns) / 1e3);
+      w.Key("dur").Double(static_cast<double>(s.dur_ns) / 1e3);
+      w.Key("args").BeginObject();
+      w.Key("level").Int(s.level);
+      w.Key("pass").Uint(s.pass_id);
+      w.Key("rows").Uint(s.rows);
+      if (s.routine != nullptr) w.Key("routine").String(s.routine);
+      for (int e = 0; e < kNumPerfEvents; ++e) {
+        if (s.counters.valid[e]) {
+          w.Key(PerfEventName(e)).Uint(s.counters.value[e]);
+        }
+      }
+      w.EndObject();  // args
+      w.EndObject();  // event
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+bool TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string json = ToChromeJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+}  // namespace cea::obs

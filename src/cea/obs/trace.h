@@ -1,0 +1,123 @@
+// Low-overhead trace-span recording with Chrome trace-event JSON export.
+//
+// Every HASHING/PARTITIONING pass (and exact-fallback / streaming segment)
+// becomes one span tagged with recursion level, pass id, routine, row
+// count and hardware-counter deltas. Spans are appended to a per-worker
+// buffer — no locks, no atomics on the hot path; the only synchronized
+// step is the export, which runs after quiescence. The exported file is
+// standard Chrome trace-event JSON ("traceEvents" with "X" phase events)
+// and loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing:
+// one row per worker, one slice per pass.
+
+#ifndef CEA_OBS_TRACE_H_
+#define CEA_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cea/obs/perf_counters.h"
+
+namespace cea::obs {
+
+// One completed span. `name` and `routine` must be string literals (the
+// recorder stores the pointers, not copies).
+struct TraceSpan {
+  const char* name = "";
+  const char* routine = nullptr;  // "HASHING", "PARTITIONING", "MIXED", ...
+  uint64_t start_ns = 0;          // since the recorder's epoch
+  uint64_t dur_ns = 0;
+  uint64_t pass_id = 0;
+  uint64_t rows = 0;
+  int level = 0;
+  int tid = 0;  // worker id; also the Chrome trace tid
+  PerfSample counters;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(int num_threads = 64);
+
+  // Grows the per-thread buffer set. Must not race with Record(); the
+  // operator calls it at construction / between executions.
+  void EnsureThreads(int n);
+
+  // Nanoseconds since the recorder's epoch (steady clock).
+  uint64_t NowNs() const {
+    return NsSinceEpoch(std::chrono::steady_clock::now());
+  }
+
+  // Converts a time_point the caller already took for its own bookkeeping,
+  // so instrumentation can piggyback on existing clock reads.
+  uint64_t NsSinceEpoch(std::chrono::steady_clock::time_point tp) const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(tp - epoch_)
+            .count());
+  }
+
+  // Appends to the buffer of `tid`. Lock-free: each tid has its own
+  // buffer and is recorded from one thread at a time. Spans for tids the
+  // recorder was never sized for are counted as dropped, not stored.
+  void Record(int tid, const TraceSpan& span) {
+    if (tid < 0 || static_cast<size_t>(tid) >= buffers_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    buffers_[tid]->spans.push_back(span);
+  }
+
+  // Like Record(), but merges the span into the thread's previous span
+  // when both share the same name pointer and level and the gap between
+  // them is at most `max_gap_ns`. For sub-microsecond tasks (the exact
+  // fallback runs hundreds of thousands of them) one stored span per task
+  // would cost more than the task itself; a merged span keeps the first
+  // pass_id and accumulates rows, duration and counters.
+  void RecordCoalesced(int tid, const TraceSpan& span, uint64_t max_gap_ns) {
+    if (tid < 0 || static_cast<size_t>(tid) >= buffers_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::vector<TraceSpan>& spans = buffers_[tid]->spans;
+    if (!spans.empty()) {
+      TraceSpan& last = spans.back();
+      uint64_t last_end = last.start_ns + last.dur_ns;
+      if (last.name == span.name && last.level == span.level &&
+          span.start_ns >= last_end &&
+          span.start_ns - last_end <= max_gap_ns) {
+        last.dur_ns = span.start_ns + span.dur_ns - last.start_ns;
+        last.rows += span.rows;
+        last.counters.Accumulate(span.counters);
+        return;
+      }
+    }
+    spans.push_back(span);
+  }
+
+  size_t num_spans() const;
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  void Clear();
+
+  // Chrome trace-event JSON. Call only while no spans are being recorded.
+  std::string ToChromeJson() const;
+  // Writes ToChromeJson() to `path`; false on I/O error.
+  bool WriteChromeJson(const std::string& path) const;
+
+ private:
+  // Heap-allocated per-thread slots keep addresses stable across
+  // EnsureThreads growth and keep adjacent workers off each other's cache
+  // lines while appending.
+  struct PerThread {
+    std::vector<TraceSpan> spans;
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<PerThread>> buffers_;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace cea::obs
+
+#endif  // CEA_OBS_TRACE_H_

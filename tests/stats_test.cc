@@ -163,5 +163,78 @@ TEST(Stats, EmptyStatsMeanAlphaIsZero) {
   EXPECT_EQ(s.mean_alpha(), 0.0);
 }
 
+// Drift guard, part 2 (part 1 is the sizeof static_assert next to
+// Merge()): populate EVERY field of two ExecStats with distinct non-zero
+// values and verify the merge accumulates each one. A field added to the
+// struct but forgotten in Merge() trips the static_assert; a field added
+// to both but merged wrongly trips this test.
+TEST(Stats, MergeAccumulatesEveryField) {
+  auto fill = [](uint64_t base) {
+    ExecStats s;
+    s.rows_hashed = base + 1;
+    s.rows_partitioned = base + 2;
+    s.tables_flushed = base + 3;
+    s.switches_to_partition = base + 4;
+    s.switches_to_hash = base + 5;
+    s.final_hash_passes = base + 6;
+    s.distinct_shortcut_runs = base + 7;
+    s.fallback_buckets = base + 8;
+    s.passes = base + 9;
+    s.max_level = static_cast<int>(base % 5);
+    s.sum_alpha = static_cast<double>(base) / 2.0;
+    s.num_alpha = base + 10;
+    for (size_t l = 0; l < s.rows_hashed_at_level.size(); ++l) {
+      s.rows_hashed_at_level[l] = base + 100 + l;
+      s.rows_partitioned_at_level[l] = base + 200 + l;
+      s.seconds_at_level[l] = static_cast<double>(base + l) / 8.0;
+    }
+    return s;
+  };
+
+  ExecStats a = fill(1000);
+  const ExecStats b = fill(31);
+  a.Merge(b);
+
+  EXPECT_EQ(a.rows_hashed, 1001u + 32u);
+  EXPECT_EQ(a.rows_partitioned, 1002u + 33u);
+  EXPECT_EQ(a.tables_flushed, 1003u + 34u);
+  EXPECT_EQ(a.switches_to_partition, 1004u + 35u);
+  EXPECT_EQ(a.switches_to_hash, 1005u + 36u);
+  EXPECT_EQ(a.final_hash_passes, 1006u + 37u);
+  EXPECT_EQ(a.distinct_shortcut_runs, 1007u + 38u);
+  EXPECT_EQ(a.fallback_buckets, 1008u + 39u);
+  EXPECT_EQ(a.passes, 1009u + 40u);
+  EXPECT_EQ(a.max_level, 1);  // max(1000 % 5, 31 % 5)
+  EXPECT_DOUBLE_EQ(a.sum_alpha, 500.0 + 15.5);
+  EXPECT_EQ(a.num_alpha, 1010u + 41u);
+  for (size_t l = 0; l < a.rows_hashed_at_level.size(); ++l) {
+    EXPECT_EQ(a.rows_hashed_at_level[l], 1100 + 131 + 2 * l) << "level " << l;
+    EXPECT_EQ(a.rows_partitioned_at_level[l], 1200 + 231 + 2 * l)
+        << "level " << l;
+    EXPECT_DOUBLE_EQ(a.seconds_at_level[l],
+                     (1000.0 + l) / 8.0 + (31.0 + l) / 8.0)
+        << "level " << l;
+  }
+}
+
+TEST(Stats, MergeIntoDefaultEqualsCopy) {
+  ExecStats src;
+  src.rows_hashed = 42;
+  src.max_level = 3;
+  src.sum_alpha = 9.5;
+  src.num_alpha = 2;
+  src.rows_hashed_at_level[3] = 42;
+  src.seconds_at_level[3] = 0.25;
+
+  ExecStats dst;
+  dst.Merge(src);
+  EXPECT_EQ(dst.rows_hashed, src.rows_hashed);
+  EXPECT_EQ(dst.max_level, src.max_level);
+  EXPECT_DOUBLE_EQ(dst.sum_alpha, src.sum_alpha);
+  EXPECT_EQ(dst.num_alpha, src.num_alpha);
+  EXPECT_EQ(dst.rows_hashed_at_level[3], 42u);
+  EXPECT_DOUBLE_EQ(dst.seconds_at_level[3], 0.25);
+}
+
 }  // namespace
 }  // namespace cea

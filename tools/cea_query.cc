@@ -18,7 +18,12 @@
 //   --threads, --table_bytes, --policy=adaptive|hashing|partition
 //   --passes (for partition), --alpha0, --c, --k_hint
 //   --csv [--csv_rows=N]          print result as CSV
-//   --stats                       print execution telemetry
+//   --stats                       print execution telemetry (text, stderr)
+//   --stats=json                  print telemetry as one JSON object on
+//                                 stdout (machine info, timing, ExecStats,
+//                                 hardware counters when available)
+//   --trace=PATH                  write a Chrome trace-event file of every
+//                                 pass (open in Perfetto / chrome://tracing)
 
 #include <cstdio>
 #include <cstring>
@@ -30,6 +35,8 @@
 #include "cea/core/aggregation_operator.h"
 #include "cea/core/stats_io.h"
 #include "cea/datagen/generators.h"
+#include "cea/obs/json_writer.h"
+#include "cea/obs/obs.h"
 
 namespace {
 
@@ -153,6 +160,15 @@ int main(int argc, char** argv) {
   for (const cea::Column& v : values) input.values.push_back(v.data());
   input.num_rows = keys.size();
 
+  // Observability: --trace needs spans, --stats=json benefits from
+  // counters; either flag attaches the context.
+  const bool stats_json = flags.GetString("stats", "") == "json";
+  const std::string trace_path = flags.GetString("trace", "");
+  cea::obs::ObsContext obs(cea::obs::ObsContext::Options{
+      /*counters=*/stats_json || !trace_path.empty(),
+      /*trace=*/!trace_path.empty()});
+  if (stats_json || !trace_path.empty()) options.obs = &obs;
+
   cea::AggregationOperator op(specs, options);
   cea::ResultTable result;
   cea::ExecStats stats;
@@ -172,8 +188,31 @@ int main(int argc, char** argv) {
                keys.size(), result.num_groups(), sec * 1e3,
                sec / static_cast<double>(keys.size()) * 1e9,
                op.policy().Name().c_str(), op.num_threads());
-  if (flags.Has("stats")) {
+  if (stats_json) {
+    cea::obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("rows").Uint(keys.size());
+    w.Key("groups").Uint(result.num_groups());
+    w.Key("seconds").Double(sec);
+    w.Key("ns_per_row").Double(sec / static_cast<double>(keys.size()) * 1e9);
+    w.Key("policy").String(op.policy().Name());
+    w.Key("threads").Int(op.num_threads());
+    w.Key("machine").Raw(cea::MachineInfoToJson(options.machine));
+    w.Key("stats").Raw(cea::ExecStatsToJson(stats));
+    w.Key("counters").Raw(cea::PerfSampleToJson(obs.counter_totals()));
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+  } else if (flags.Has("stats")) {
     std::fprintf(stderr, "%s", cea::FormatExecStats(stats).c_str());
+  }
+  if (!trace_path.empty()) {
+    if (obs.trace().WriteChromeJson(trace_path)) {
+      std::fprintf(stderr, "trace: %zu spans -> %s\n",
+                   obs.trace().num_spans(), trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
   }
   if (flags.Has("csv")) {
     std::string csv =
