@@ -25,6 +25,7 @@
 #include "cea/common/random.h"
 #include "cea/hash/murmur.h"
 #include "cea/hash/radix.h"
+#include "cea/mem/chunk_pool.h"
 #include "cea/mem/chunked_array.h"
 #include "cea/mem/stream_store.h"
 #include "cea/mem/swc_buffer.h"
@@ -145,6 +146,24 @@ double TwoLevelPartition(const uint64_t* keys, size_t n, uint8_t* mapping,
   return t.Seconds();
 }
 
+// Chunk-pool traffic of one rep: fresh carves vs. freelist hits. The
+// two-level variants allocate all run storage through the pool, so after
+// the first (warm-up) rep the fresh count should drop to ~0 — each rep
+// frees its runs and the next one recycles them.
+struct PoolDelta {
+  uint64_t fresh = 0;
+  uint64_t recycled = 0;
+};
+
+template <typename F>
+PoolDelta WithPoolDelta(F&& fn) {
+  cea::ChunkPool::Stats s0 = cea::ChunkPool::Global().GetStats();
+  fn();
+  cea::ChunkPool::Stats s1 = cea::ChunkPool::Global().GetStats();
+  return {s1.fresh_chunks - s0.fresh_chunks,
+          s1.recycled_chunks - s0.recycled_chunks};
+}
+
 // 'map': scatter an aggregate column following the mapping vector.
 double MapPartition(const uint64_t* values, const uint8_t* mapping, size_t n,
                     std::vector<ChunkedArray>* runs) {
@@ -192,7 +211,8 @@ int main(int argc, char** argv) {
   });
   double memcpy_bw = cea::bench::BandwidthGiBs(bytes, memcpy_t.median_s);
 
-  auto report = [&](const char* name, const cea::bench::TimingStats& t) {
+  auto report = [&](const char* name, const cea::bench::TimingStats& t,
+                    const std::vector<PoolDelta>* pool = nullptr) {
     double bw = cea::bench::BandwidthGiBs(bytes, t.median_s);
     if (reporter.enabled()) {
       cea::bench::BenchRecord r;
@@ -201,10 +221,22 @@ int main(int argc, char** argv) {
           .Param("partitions", uint64_t{kFanOut});
       r.Metric("gib_per_s", bw)
           .Metric("relative_to_memcpy", bw / memcpy_bw);
+      if (pool != nullptr && !pool->empty()) {
+        r.MetricUint("chunk_fresh_first_rep", pool->front().fresh)
+            .MetricUint("chunk_fresh_last_rep", pool->back().fresh)
+            .MetricUint("chunk_recycled_last_rep", pool->back().recycled);
+      }
       r.Timing(t);
       reporter.Emit(r);
     } else {
-      std::printf("%-16s %12.2f %9.0f%%\n", name, bw, bw / memcpy_bw * 100.0);
+      std::printf("%-16s %12.2f %9.0f%%", name, bw, bw / memcpy_bw * 100.0);
+      if (pool != nullptr && !pool->empty()) {
+        std::printf("   chunks fresh %llu -> %llu, recycled %llu",
+                    (unsigned long long)pool->front().fresh,
+                    (unsigned long long)pool->back().fresh,
+                    (unsigned long long)pool->back().recycled);
+      }
+      std::printf("\n");
     }
   };
   report("memcpy(nt)", memcpy_t);
@@ -226,13 +258,21 @@ int main(int argc, char** argv) {
          }));
 
   std::vector<uint8_t> mapping(n);
+  std::vector<PoolDelta> twolevel_pool;
   report("two-level", cea::bench::MeasureSeconds(reps, [&] {
-           std::vector<ChunkedArray> runs(kFanOut);
-           TwoLevelPartition(keys.data(), n, mapping.data(), &runs);
-         }));
+           twolevel_pool.push_back(WithPoolDelta([&] {
+             std::vector<ChunkedArray> runs(kFanOut);
+             TwoLevelPartition(keys.data(), n, mapping.data(), &runs);
+           }));
+         }),
+         &twolevel_pool);
+  std::vector<PoolDelta> map_pool;
   report("map", cea::bench::MeasureSeconds(reps, [&] {
-           std::vector<ChunkedArray> vruns(kFanOut);
-           MapPartition(keys.data(), mapping.data(), n, &vruns);
-         }));
+           map_pool.push_back(WithPoolDelta([&] {
+             std::vector<ChunkedArray> vruns(kFanOut);
+             MapPartition(keys.data(), mapping.data(), n, &vruns);
+           }));
+         }),
+         &map_pool);
   return 0;
 }

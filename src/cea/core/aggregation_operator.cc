@@ -25,7 +25,29 @@ const char* RoutineLabel(uint64_t hashed, uint64_t partitioned) {
 // pass of another kind still starts a fresh span.
 constexpr uint64_t kExactSpanGapNs = 25'000;
 
+// Combines the primary failure of a stream teardown with the status of
+// draining the scheduler, so neither error is lost.
+Status MergeAbortStatus(const Status& drain, std::string primary) {
+  if (!drain.ok()) {
+    primary += "; worker error during teardown: " + drain.message();
+  }
+  return Status::RuntimeError(std::move(primary));
+}
+
+// Floor for ExactGroupsHint: small enough not to waste memory on a truly
+// tiny bucket, large enough that the growable table does not start at its
+// minimal capacity and double repeatedly while absorbing a typical
+// fallback bucket.
+constexpr size_t kExactGroupsHintFloor = 64;
+
 }  // namespace
+
+size_t ExactGroupsHint(size_t k_hint, int level) {
+  if (k_hint == 0) return 0;
+  size_t expected = k_hint;
+  for (int l = 0; l < level && expected != 0; ++l) expected /= kFanOut;
+  return std::max(expected, kExactGroupsHintFloor);
+}
 
 // One recursive pass: all runs of one bucket at one level, cut into
 // morsels that the participating worker tasks claim from the shared
@@ -129,6 +151,10 @@ void AggregationOperator::ResetExecutionState() {
   // An aborted previous execution may have left counter intervals
   // accumulated but never collected; they must not leak into this run.
   for (auto& r : resources_) r->counters().TakeTotal();
+  // Memory telemetry window: counters are process-wide monotonic, so the
+  // per-execution numbers are deltas against this snapshot.
+  pool_stats_base_ = ChunkPool::Global().GetStats();
+  MemoryBudget::Global().ResetPeak();
 }
 
 void AggregationOperator::CollectResult(ResultTable* result,
@@ -139,6 +165,11 @@ void AggregationOperator::CollectResult(ResultTable* result,
     for (const ExecStats& s : worker_stats_) stats->Merge(s);
     stats->Merge(shortcut_stats_);
     stats->passes = num_passes_.load(std::memory_order_relaxed);
+    ChunkPool::Stats pool = ChunkPool::Global().GetStats();
+    stats->chunks_allocated = pool.fresh_chunks - pool_stats_base_.fresh_chunks;
+    stats->chunks_recycled =
+        pool.recycled_chunks - pool_stats_base_.recycled_chunks;
+    stats->mem_peak_bytes = MemoryBudget::Global().peak();
   }
   if (options_.obs != nullptr && options_.obs->counters_enabled()) {
     obs::PerfSample totals;
@@ -176,11 +207,14 @@ void AggregationOperator::RecoverExecutionState() {
   ResetExecutionState();
 }
 
-void AggregationOperator::AbortStream() {
+Status AggregationOperator::AbortStream() {
   streaming_ = false;
   stream_ctx_.reset();
-  scheduler_->Wait();  // drain and discard whatever was still scheduled
+  // Drain whatever was still scheduled; a worker failure during the drain
+  // must reach the caller, not vanish into the teardown.
+  Status drain = scheduler_->Wait();
   RecoverExecutionState();
+  return drain;
 }
 
 Status AggregationOperator::BeginStream(int key_columns) {
@@ -240,13 +274,11 @@ Status AggregationOperator::ConsumeBatch(const InputTable& batch) {
     }
   } catch (const std::exception& e) {
     // The PassContext is mid-row and unusable; close the stream.
-    AbortStream();
-    return Status::RuntimeError(std::string("stream batch failed: ") +
-                                e.what());
+    return MergeAbortStatus(
+        AbortStream(), std::string("stream batch failed: ") + e.what());
   } catch (...) {
-    AbortStream();
-    return Status::RuntimeError(
-        "stream batch failed: non-standard exception");
+    return MergeAbortStatus(AbortStream(),
+                            "stream batch failed: non-standard exception");
   }
   span.set_routine(RoutineLabel(ws.rows_hashed - hashed0,
                                 ws.rows_partitioned - partitioned0));
@@ -282,13 +314,12 @@ Status AggregationOperator::FinishStream(ResultTable* result,
         }
       }
     } catch (const std::exception& e) {
-      AbortStream();
-      return Status::RuntimeError(
+      return MergeAbortStatus(
+          AbortStream(),
           std::string("stream finalization failed: ") + e.what());
     } catch (...) {
-      AbortStream();
-      return Status::RuntimeError(
-          "stream finalization failed: non-standard exception");
+      return MergeAbortStatus(
+          AbortStream(), "stream finalization failed: non-standard exception");
     }
     Status e = scheduler_->Wait();
     if (!e.ok()) {
@@ -449,8 +480,7 @@ void AggregationOperator::ScheduleBucket(Bucket bucket, int level) {
 
 void AggregationOperator::ScheduleExact(std::vector<Morsel> morsels,
                                         Bucket source, int level) {
-  size_t expected = options_.k_hint;
-  for (int l = 0; l < level && expected != 0; ++l) expected /= kFanOut;
+  size_t expected = ExactGroupsHint(options_.k_hint, level);
   auto morsels_ptr =
       std::make_shared<std::vector<Morsel>>(std::move(morsels));
   auto source_ptr = std::make_shared<Bucket>(std::move(source));

@@ -33,9 +33,17 @@
 #include "cea/core/policy.h"
 #include "cea/core/routines.h"
 #include "cea/exec/task_scheduler.h"
+#include "cea/mem/chunk_pool.h"
 #include "cea/obs/obs.h"
 
 namespace cea {
+
+// Pre-size hint for the growable table of an exact (fallback/final) pass
+// at `level`: the caller's k_hint scaled down by the fan-out of every
+// completed radix level, clamped to a floor — deep recursions would
+// otherwise divide the hint to zero and pay doubling/rehash churn from a
+// minimal table. A zero k_hint (cardinality unknown) stays zero.
+size_t ExactGroupsHint(size_t k_hint, int level);
 
 struct AggregationOptions {
   enum class PolicyKind { kAdaptive, kHashingOnly, kPartitionAlways };
@@ -163,9 +171,15 @@ class AggregationOperator {
   // execution: per-worker scratch (SWC lines, table) holds partial pass
   // output that must not leak into the next Execute.
   void RecoverExecutionState();
-  // Tears down the stream after a failed batch or finalization.
-  void AbortStream();
+  // Tears down the stream after a failed batch or finalization. Returns
+  // the status of draining the scheduler, so a worker failure during
+  // teardown is surfaced to the caller instead of silently swallowed.
+  Status AbortStream();
   void CollectResult(ResultTable* result, ExecStats* stats);
+
+  // ChunkPool/MemoryBudget snapshot taken at execution start; the deltas
+  // become the ExecStats memory counters at result collection.
+  ChunkPool::Stats pool_stats_base_;
 };
 
 }  // namespace cea

@@ -12,11 +12,11 @@ namespace cea {
 // (and ExecStatsToJson / FormatExecStats) silently drops telemetry when
 // per-worker stats are merged. Growing the struct trips this assert;
 // update Merge(), the JSON/text serializers, the stats tests, and then the
-// expected size. (LP64 layout: 9 u64 counters, padded int, double, u64,
+// expected size. (LP64 layout: 12 u64 counters, padded int, double, u64,
 // then three per-level arrays.)
 #if defined(__x86_64__) || defined(__aarch64__)
 static_assert(sizeof(ExecStats) ==
-                  12 * sizeof(uint64_t) +
+                  15 * sizeof(uint64_t) +
                       3 * sizeof(std::array<uint64_t, kMaxRadixLevel + 1>),
               "ExecStats changed: update Merge(), ExecStatsToJson(), "
               "FormatExecStats() and this canary");
@@ -32,6 +32,9 @@ void ExecStats::Merge(const ExecStats& other) {
   distinct_shortcut_runs += other.distinct_shortcut_runs;
   fallback_buckets += other.fallback_buckets;
   passes += other.passes;
+  chunks_allocated += other.chunks_allocated;
+  chunks_recycled += other.chunks_recycled;
+  mem_peak_bytes = std::max(mem_peak_bytes, other.mem_peak_bytes);
   max_level = std::max(max_level, other.max_level);
   sum_alpha += other.sum_alpha;
   num_alpha += other.num_alpha;
@@ -255,7 +258,10 @@ void PassContext::PartitionRange(const Morsel& m, size_t from, size_t to) {
     const int off = layout_.word_offset[s];
     SwcWriter& sw0 = res_.state_writer(off);
     if (m.raw) {
-      const uint64_t* v = m.cols[s] != nullptr ? m.cols[s] + from : nullptr;
+      // Count-only raw morsels may carry no value columns at all; the
+      // empty() guard matches ApplyValuesHash (v stays unused for kCount).
+      const uint64_t* v =
+          m.cols.empty() ? nullptr : m.cols[s] ? m.cols[s] + from : nullptr;
       switch (fn) {
         case AggFn::kCount:
           for (size_t i = 0; i < len; ++i) sw0.Append(dests[i], 1);
@@ -409,7 +415,10 @@ void AggregateExact(const std::vector<Morsel>& morsels, int key_words,
         // them into a local buffer before merging.
         uint64_t state[2];
         if (m.raw) {
-          uint64_t v = m.cols[s] != nullptr ? m.cols[s][i] : 0;
+          // Same empty() guard as ApplyValuesHash/PartitionRange: a
+          // count-only raw morsel has no value columns.
+          uint64_t v =
+              m.cols.empty() || m.cols[s] == nullptr ? 0 : m.cols[s][i];
           InitStateFromRaw(fn, v, state);
         } else {
           state[0] = m.cols[off][i];

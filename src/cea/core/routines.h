@@ -60,6 +60,12 @@ struct ExecStats {
   uint64_t distinct_shortcut_runs = 0;
   uint64_t fallback_buckets = 0;
   uint64_t passes = 0;
+  // Run-store memory telemetry (process-wide ChunkPool/MemoryBudget deltas
+  // captured by the operator per execution): chunks served from fresh OS
+  // memory vs. recycled from the pool, and the peak accounted bytes.
+  uint64_t chunks_allocated = 0;
+  uint64_t chunks_recycled = 0;
+  uint64_t mem_peak_bytes = 0;
   int max_level = 0;
 
   double sum_alpha = 0;
@@ -172,6 +178,10 @@ class PassContext {
   uint64_t table_rows_in_ = 0;   // rows inserted since last Clear
   uint64_t rows_processed_ = 0;
   uint32_t flushes_ = 0;
+
+  // Test access to the private routine entry points (InsertKeys contracts
+  // are covered directly in routines_test).
+  friend struct PassContextTestPeer;
 };
 
 // Exact-key aggregation of a morsel sequence with a growable table. Used

@@ -44,6 +44,11 @@ std::string FormatExecStats(const ExecStats& stats) {
           " back to hashing; mean alpha: %.2f (%" PRIu64 " samples)\n",
           stats.switches_to_partition, stats.switches_to_hash,
           stats.mean_alpha(), stats.num_alpha);
+  Appendf(&out,
+          "run-store memory: %" PRIu64 " chunks allocated, %" PRIu64
+          " recycled, peak %.1f MiB\n",
+          stats.chunks_allocated, stats.chunks_recycled,
+          static_cast<double>(stats.mem_peak_bytes) / (1024.0 * 1024.0));
   Appendf(&out, "levels (rows hashed / partitioned / cpu-seconds):\n");
   for (int l = 0; l <= stats.max_level &&
                   l < static_cast<int>(stats.rows_hashed_at_level.size());
@@ -67,6 +72,9 @@ std::string ExecStatsToJson(const ExecStats& stats) {
   w.Key("distinct_shortcut_runs").Uint(stats.distinct_shortcut_runs);
   w.Key("fallback_buckets").Uint(stats.fallback_buckets);
   w.Key("passes").Uint(stats.passes);
+  w.Key("chunks_allocated").Uint(stats.chunks_allocated);
+  w.Key("chunks_recycled").Uint(stats.chunks_recycled);
+  w.Key("mem_peak_bytes").Uint(stats.mem_peak_bytes);
   w.Key("max_level").Int(stats.max_level);
   w.Key("sum_alpha").Double(stats.sum_alpha);
   w.Key("num_alpha").Uint(stats.num_alpha);

@@ -1,8 +1,16 @@
 #include "cea/mem/chunked_array.h"
 
-#include <cstdlib>
+#include "cea/mem/chunk_pool.h"
 
 namespace cea {
+
+// The pool's size classes must cover the geometric chunk schedule exactly,
+// or every chunk would fall through to the unpooled oversize path.
+static_assert(ChunkPool::kMinClassElems == ChunkedArray::kMinChunkElems,
+              "ChunkPool size classes must start at the minimum chunk size");
+static_assert(ChunkPool::kMinClassElems << (ChunkPool::kNumClasses - 1) ==
+                  ChunkedArray::kMaxChunkElems,
+              "ChunkPool size classes must end at the maximum chunk size");
 
 ChunkedArray::~ChunkedArray() { Clear(); }
 
@@ -46,10 +54,12 @@ void ChunkedArray::AddChunk(size_t min_capacity) {
   if (capacity < min_capacity) {
     capacity = (min_capacity + kLineElems - 1) & ~(kLineElems - 1);
   }
-  void* mem = std::aligned_alloc(kCacheLineBytes, capacity * sizeof(uint64_t));
-  CEA_CHECK_MSG(mem != nullptr, "out of memory allocating run chunk");
-  chunks_.push_back(Chunk{static_cast<uint64_t*>(mem), capacity});
-  tail_ = static_cast<uint64_t*>(mem);
+  // Draws from the process-wide chunk pool; exhaustion of the memory
+  // budget throws MemoryBudgetExceeded, which the scheduler's error path
+  // surfaces as a Status instead of crashing mid-pass.
+  uint64_t* mem = ChunkPool::Global().Allocate(capacity);
+  chunks_.push_back(Chunk{mem, capacity});
+  tail_ = mem;
   tail_left_ = capacity;
   allocated_bytes_ += capacity * sizeof(uint64_t);
 }
@@ -93,7 +103,7 @@ std::vector<uint64_t> ChunkedArray::ToVector() const {
 
 void ChunkedArray::Clear() {
   for (Chunk& c : chunks_) {
-    std::free(c.data);
+    ChunkPool::Global().Free(c.data, c.capacity);
   }
   chunks_.clear();
   tail_ = nullptr;

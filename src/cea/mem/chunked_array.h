@@ -13,6 +13,12 @@
 // Chunk capacities grow geometrically from kMinChunkElems to
 // kMaxChunkElems, so the many small runs produced at deep recursion levels
 // do not waste memory while large runs amortize chunk management.
+//
+// Chunk memory is drawn from the process-wide ChunkPool (chunk_pool.h):
+// the geometric schedule maps onto the pool's size classes, so the chunks
+// a completed pass releases are recycled by the next pass instead of
+// round-tripping through the allocator, and allocation failure surfaces
+// as MemoryBudgetExceeded rather than a CHECK abort.
 
 #ifndef CEA_MEM_CHUNKED_ARRAY_H_
 #define CEA_MEM_CHUNKED_ARRAY_H_

@@ -438,6 +438,86 @@ TEST(Aggregation, OperatorRecoversAfterInjectedFault) {
   ASSERT_EQ(got.aggregates[1].u64, expect.aggregates[1].u64);
 }
 
+TEST(Aggregation, ExactGroupsHintScalesAndClampsToFloor) {
+  // Unknown cardinality stays unknown (growable table sizes itself).
+  EXPECT_EQ(ExactGroupsHint(0, 0), 0u);
+  EXPECT_EQ(ExactGroupsHint(0, 5), 0u);
+  // Level 0 passes the hint through.
+  EXPECT_EQ(ExactGroupsHint(1 << 20, 0), size_t{1} << 20);
+  // Each completed radix level divides the expected residue by kFanOut.
+  EXPECT_EQ(ExactGroupsHint(1 << 20, 1), size_t{1} << 12);
+  // Deep levels used to divide down to zero (rehash churn from a minimal
+  // table); now they clamp to a sane floor instead.
+  EXPECT_EQ(ExactGroupsHint(1 << 20, 2), 64u);
+  EXPECT_EQ(ExactGroupsHint(1 << 20, 7), 64u);
+  EXPECT_EQ(ExactGroupsHint(100, 1), 64u);
+  EXPECT_EQ(ExactGroupsHint(1, 8), 64u);
+}
+
+TEST(Aggregation, MemoryBudgetExhaustionReturnsStatus) {
+  // Run-store demand far above the pool's recycled inventory: with a tight
+  // budget the execution must fail with a Status (no bad_alloc / abort),
+  // and the same operator must produce correct results once the limit is
+  // lifted.
+  GenParams gp;
+  gp.n = 1 << 20;
+  gp.k = gp.n;  // all-distinct: every level materializes ~n rows of runs
+  Column keys = GenerateKeys(gp);
+  Column values = GenerateValues(gp.n, 13);
+  InputTable input;
+  input.keys = keys.data();
+  input.values = {values.data()};
+  input.num_rows = keys.size();
+
+  std::vector<AggregateSpec> specs = {{AggFn::kSum, 0}, {AggFn::kCount, -1}};
+  AggregationOperator op(specs, TinyCacheOptions(2));
+
+  MemoryBudget& budget = MemoryBudget::Global();
+  // Pooled chunks from earlier tests are recycled without touching the
+  // budget, so cap one slab above current usage: the first fresh slab
+  // still fits, the run store's real demand (tens of MiB) does not.
+  budget.SetLimit(budget.used() + ChunkPool::kSlabBytes);
+  ResultTable result;
+  Status s = op.Execute(input, &result);
+  budget.SetLimit(0);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("memory budget exceeded"), std::string::npos)
+      << s.message();
+
+  // Unlimited again: the operator recovered and matches the reference.
+  ResultTable got;
+  ASSERT_TRUE(op.Execute(input, &got).ok());
+  ResultTable expect = ReferenceAggregate(input, specs);
+  SortResultByKey(&got);
+  ASSERT_EQ(got.keys, expect.keys);
+  ASSERT_EQ(got.aggregates[0].u64, expect.aggregates[0].u64);
+  ASSERT_EQ(got.aggregates[1].u64, expect.aggregates[1].u64);
+}
+
+TEST(Aggregation, ExecStatsReportMemoryCounters) {
+  GenParams gp;
+  gp.n = 100000;
+  gp.k = 50000;
+  Column keys = GenerateKeys(gp);
+  InputTable input;
+  input.keys = keys.data();
+  input.num_rows = keys.size();
+
+  AggregationOperator op({{AggFn::kCount, -1}}, TinyCacheOptions(2));
+  ResultTable r1, r2;
+  ExecStats cold, warm;
+  ASSERT_TRUE(op.Execute(input, &r1, &cold).ok());
+  ASSERT_TRUE(op.Execute(input, &r2, &warm).ok());
+
+  // The run store was exercised and the peak was observed.
+  EXPECT_GT(cold.chunks_allocated + cold.chunks_recycled, 0u);
+  EXPECT_GT(cold.mem_peak_bytes, 0u);
+  // The warm execution has the cold one's chunks in the pool: identical
+  // work must be served (almost) entirely from recycled blocks.
+  EXPECT_GT(warm.chunks_recycled, 0u);
+  EXPECT_LE(warm.chunks_allocated, cold.chunks_allocated / 4);
+}
+
 TEST(Aggregation, InjectedFaultAtDeepLevelAbortsCleanly) {
   // Fail only below the root so the error surfaces mid-recursion, with
   // sibling buckets still in flight.

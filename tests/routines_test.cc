@@ -13,6 +13,17 @@
 #include "cea/hash/radix.h"
 
 namespace cea {
+
+// Named friend of PassContext: forwards to the private routine entry
+// points so their contracts (consumed counts, slot mappings) can be
+// tested directly, without the ProcessMorsel state machine on top.
+struct PassContextTestPeer {
+  static bool InsertKeys(PassContext* ctx, const Morsel& m, size_t from,
+                         size_t n, size_t* consumed) {
+    return ctx->InsertKeys(m, from, n, consumed);
+  }
+};
+
 namespace {
 
 constexpr size_t kTableBytes = 1 << 16;  // tiny table: forces flushes
@@ -200,6 +211,97 @@ TEST(PartitioningRoutine, CountBecomesLiteralOne) {
   for (uint64_t c : run.states[0].ToVector()) ASSERT_EQ(c, 1u);
 }
 
+// Builds WorkerResources whose table reports full after exactly
+// `target_fill` new keys (max_fill chosen against the discovered
+// capacity), so InsertKeys' mid-block and block-boundary exits can be
+// hit deterministically.
+std::unique_ptr<WorkerResources> ResourcesWithFillCap(
+    const StateLayout& layout, uint32_t target_fill) {
+  WorkerResources probe(1, layout, kTableBytes, 1 << 12);
+  uint32_t capacity = probe.table().capacity();
+  double max_fill =
+      (static_cast<double>(target_fill) + 0.5) / static_cast<double>(capacity);
+  auto res = std::make_unique<WorkerResources>(1, layout, kTableBytes,
+                                               size_t{1} << 12, max_fill);
+  CEA_CHECK(res->table().max_fill_slots() == target_fill);
+  return res;
+}
+
+TEST(InsertKeys, TableFillsInsideAnOutOfOrderBlock) {
+  // The single-key hot path works in out-of-order blocks of 16; a fill cap
+  // of 122 = 7 * 16 + 10 trips mid-block, where *consumed must count the
+  // rows of the partial block that still got slots.
+  StateLayout layout({{AggFn::kCount, -1}});
+  auto policy = MakeHashingOnlyPolicy();
+  auto res = ResourcesWithFillCap(layout, 122);
+  ExecStats stats;
+  PassContext ctx(layout, *policy, res.get(), 0, &stats);
+
+  constexpr uint32_t kSentinel = 0xcafef00du;
+  for (size_t i = 0; i < res->max_morsel_rows(); ++i) {
+    res->slots()[i] = kSentinel;
+  }
+
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 200; ++i) keys.push_back(i + 1);  // distinct
+  Morsel m = RawMorsel(keys, {});
+
+  size_t consumed = 0;
+  bool full = PassContextTestPeer::InsertKeys(&ctx, m, 0, keys.size(),
+                                              &consumed);
+  EXPECT_TRUE(full);
+  EXPECT_EQ(consumed, 122u);
+  EXPECT_EQ(res->table().fill(), 122u);
+  // Every consumed row received the slot that actually holds its key;
+  // everything past the failure point was left untouched.
+  for (size_t i = 0; i < consumed; ++i) {
+    uint32_t s = res->slots()[i];
+    ASSERT_NE(s, kSentinel) << "row " << i;
+    ASSERT_LT(s, res->table().capacity());
+    ASSERT_TRUE(res->table().TestOccupied(s));
+    ASSERT_EQ(res->table().key_array()[s], keys[i]) << "row " << i;
+  }
+  for (size_t i = consumed; i < keys.size(); ++i) {
+    ASSERT_EQ(res->slots()[i], kSentinel) << "row " << i;
+  }
+}
+
+TEST(InsertKeys, TableFillsAtExactBlockBoundary) {
+  // Cap of 112 = 7 * 16: the morsel fits exactly, so the full cap is only
+  // reported on the *next* new key — with zero rows consumed.
+  StateLayout layout({{AggFn::kCount, -1}});
+  auto policy = MakeHashingOnlyPolicy();
+  auto res = ResourcesWithFillCap(layout, 112);
+  ExecStats stats;
+  PassContext ctx(layout, *policy, res.get(), 0, &stats);
+
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 112; ++i) keys.push_back(i + 1);
+  Morsel m = RawMorsel(keys, {});
+  size_t consumed = 0;
+  EXPECT_FALSE(
+      PassContextTestPeer::InsertKeys(&ctx, m, 0, keys.size(), &consumed));
+  EXPECT_EQ(consumed, 112u);
+  EXPECT_EQ(res->table().fill(), 112u);
+
+  // A new key cannot claim a slot in the full table.
+  std::vector<uint64_t> fresh = {10'000};
+  Morsel m_fresh = RawMorsel(fresh, {});
+  consumed = 99;
+  EXPECT_TRUE(PassContextTestPeer::InsertKeys(&ctx, m_fresh, 0, 1, &consumed));
+  EXPECT_EQ(consumed, 0u);
+
+  // A duplicate key still resolves while the table is full (find, not
+  // insert) and consumes its row.
+  std::vector<uint64_t> dup = {keys[7]};
+  Morsel m_dup = RawMorsel(dup, {});
+  consumed = 0;
+  EXPECT_FALSE(PassContextTestPeer::InsertKeys(&ctx, m_dup, 0, 1, &consumed));
+  EXPECT_EQ(consumed, 1u);
+  EXPECT_EQ(res->table().key_array()[res->slots()[0]], keys[7]);
+  EXPECT_EQ(res->table().fill(), 112u);
+}
+
 TEST(AdaptiveRoutine, SwitchesToPartitioningOnLowAlpha) {
   StateLayout layout;
   auto policy = MakeAdaptivePolicy(/*alpha0=*/11.0, /*c=*/10);
@@ -283,6 +385,50 @@ TEST(AggregateExact, MatchesScalarExpectation) {
     ASSERT_EQ(sums[i], expect[rk[i]].first);
     ASSERT_EQ(counts[i], expect[rk[i]].second);
   }
+}
+
+TEST(PartitioningRoutine, CountOnlyRawMorselWithNoValueColumns) {
+  // Regression: a COUNT(*)-only query may build raw morsels with an empty
+  // cols vector (no value columns at all). PartitionRange used to index
+  // m.cols[0] unconditionally on raw morsels — out-of-bounds on the empty
+  // vector — while ApplyValuesHash guarded it.
+  StateLayout layout({{AggFn::kCount, -1}});
+  auto policy = MakePartitionAlwaysPolicy(2);
+  WorkerResources res(layout, kTableBytes, 1 << 18);
+  ExecStats stats;
+  PassContext ctx(layout, *policy, &res, 0, &stats);
+  ASSERT_EQ(ctx.mode(), Mode::kPartition);
+
+  std::vector<uint64_t> keys;
+  Rng rng(10);
+  for (int i = 0; i < 5000; ++i) keys.push_back(rng.NextBounded(200));
+  ctx.ProcessMorsel(RawMorsel(keys, /*cols=*/{}));
+  cea::Run final_run(1, layout);
+  EXPECT_FALSE(ctx.Finalize(keys.size(), &final_run));
+  EXPECT_EQ(stats.rows_partitioned, keys.size());
+
+  std::map<uint64_t, uint64_t> got = CountsOfRuns(ctx.runs());
+  std::map<uint64_t, uint64_t> expect;
+  for (uint64_t k : keys) ++expect[k];
+  EXPECT_EQ(got, expect);
+}
+
+TEST(AggregateExact, CountOnlyRawMorselWithNoValueColumns) {
+  // Same regression as above for the exact fallback path, which also
+  // indexed m.cols[s] on raw morsels without the empty() guard.
+  StateLayout layout({{AggFn::kCount, -1}});
+  std::vector<uint64_t> keys;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) keys.push_back(rng.NextBounded(200));
+  std::vector<Morsel> morsels = {RawMorsel(keys, /*cols=*/{})};
+  cea::Run final_run(1, layout);
+  AggregateExact(morsels, 1, layout, 0, &final_run);
+  EXPECT_TRUE(final_run.distinct);
+
+  std::map<uint64_t, uint64_t> got = CountsOfRun(final_run);
+  std::map<uint64_t, uint64_t> expect;
+  for (uint64_t k : keys) ++expect[k];
+  EXPECT_EQ(got, expect);
 }
 
 TEST(MorselsForBucket, DecomposesRunsByChunks) {

@@ -25,10 +25,16 @@ TEST(FormatExecStats, ContainsKeyFigures) {
   s.max_level = 1;
   s.rows_hashed_at_level[0] = 100;
   s.rows_partitioned_at_level[0] = 50;
+  s.chunks_allocated = 7;
+  s.chunks_recycled = 9;
+  s.mem_peak_bytes = 3 << 20;
   std::string out = FormatExecStats(s);
   EXPECT_NE(out.find("100 hashed"), std::string::npos);
   EXPECT_NE(out.find("50 partitioned"), std::string::npos);
   EXPECT_NE(out.find("mean alpha: 4.00"), std::string::npos);
+  EXPECT_NE(out.find("7 chunks allocated"), std::string::npos);
+  EXPECT_NE(out.find("9 recycled"), std::string::npos);
+  EXPECT_NE(out.find("peak 3.0 MiB"), std::string::npos);
   EXPECT_NE(out.find("level 1"), std::string::npos);
 }
 
@@ -161,10 +167,16 @@ TEST(ExecStatsToJson, ValidJsonWithAllFields) {
   s.rows_hashed_at_level[1] = 30;
   s.rows_partitioned_at_level[0] = 50;
   s.seconds_at_level[1] = 0.125;
+  s.chunks_allocated = 7;
+  s.chunks_recycled = 9;
+  s.mem_peak_bytes = 4096;
   std::string json = ExecStatsToJson(s);
   EXPECT_TRUE(obs::JsonLooksValid(json)) << json;
   EXPECT_NE(json.find("\"rows_hashed\":100"), std::string::npos);
   EXPECT_NE(json.find("\"mean_alpha\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"chunks_allocated\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"chunks_recycled\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"mem_peak_bytes\":4096"), std::string::npos);
   // One levels entry per level up to max_level.
   EXPECT_NE(json.find("\"level\":0"), std::string::npos);
   EXPECT_NE(json.find("\"level\":1"), std::string::npos);

@@ -180,6 +180,9 @@ TEST(Stats, MergeAccumulatesEveryField) {
     s.distinct_shortcut_runs = base + 7;
     s.fallback_buckets = base + 8;
     s.passes = base + 9;
+    s.chunks_allocated = base + 11;
+    s.chunks_recycled = base + 12;
+    s.mem_peak_bytes = base + 13;
     s.max_level = static_cast<int>(base % 5);
     s.sum_alpha = static_cast<double>(base) / 2.0;
     s.num_alpha = base + 10;
@@ -204,6 +207,9 @@ TEST(Stats, MergeAccumulatesEveryField) {
   EXPECT_EQ(a.distinct_shortcut_runs, 1007u + 38u);
   EXPECT_EQ(a.fallback_buckets, 1008u + 39u);
   EXPECT_EQ(a.passes, 1009u + 40u);
+  EXPECT_EQ(a.chunks_allocated, 1011u + 42u);
+  EXPECT_EQ(a.chunks_recycled, 1012u + 43u);
+  EXPECT_EQ(a.mem_peak_bytes, 1013u);  // max, not sum: process-wide peak
   EXPECT_EQ(a.max_level, 1);  // max(1000 % 5, 31 % 5)
   EXPECT_DOUBLE_EQ(a.sum_alpha, 500.0 + 15.5);
   EXPECT_EQ(a.num_alpha, 1010u + 41u);

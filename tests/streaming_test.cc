@@ -197,5 +197,48 @@ TEST(Streaming, InjectedFaultInFinishPropagatesAndStreamRecovers) {
   StreamAndCompare(keys, values, /*batch_rows=*/7777, options);
 }
 
+TEST(Streaming, ExecuteWorksAfterFailedStream) {
+  // A stream that fails in finalization tears down via AbortStream; the
+  // one-shot interface on the same operator must then work and match the
+  // reference (no partial stream state leaks into Execute).
+  GenParams gp;
+  gp.n = 50000;
+  gp.k = 50000;
+  Column keys = GenerateKeys(gp);
+  Column values = GenerateValues(gp.n, 33);
+
+  auto armed = std::make_shared<std::atomic<bool>>(true);
+  AggregationOptions options = TinyCacheOptions(2, /*table_bytes=*/1 << 14);
+  options.fault_hook = [armed](int level) {
+    if (armed->load() && level >= 1) {
+      throw std::runtime_error("injected finish failure");
+    }
+  };
+  std::vector<AggregateSpec> specs = {{AggFn::kSum, 0}, {AggFn::kCount, -1}};
+  AggregationOperator op(specs, options);
+
+  ASSERT_TRUE(op.BeginStream(1).ok());
+  InputTable batch;
+  batch.keys = keys.data();
+  batch.values = {values.data()};
+  batch.num_rows = keys.size();
+  ASSERT_TRUE(op.ConsumeBatch(batch).ok());
+  ResultTable result;
+  ASSERT_FALSE(op.FinishStream(&result).ok());
+
+  armed->store(false);
+  InputTable input;
+  input.keys = keys.data();
+  input.values = {values.data()};
+  input.num_rows = keys.size();
+  ResultTable got;
+  ASSERT_TRUE(op.Execute(input, &got).ok());
+  ResultTable expect = ReferenceAggregate(input, specs);
+  SortResultByKey(&got);
+  ASSERT_EQ(got.keys, expect.keys);
+  ASSERT_EQ(got.aggregates[0].u64, expect.aggregates[0].u64);
+  ASSERT_EQ(got.aggregates[1].u64, expect.aggregates[1].u64);
+}
+
 }  // namespace
 }  // namespace cea

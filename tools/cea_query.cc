@@ -17,6 +17,10 @@
 //                                 generated (uniform < 2^20).
 //   --threads, --table_bytes, --policy=adaptive|hashing|partition
 //   --passes (for partition), --alpha0, --c, --k_hint
+//   --mem_budget_mb=N             cap run-store memory at N MiB; exceeding
+//                                 the cap fails the query with a status
+//                                 (0 = unlimited). --no_huge_pages disables
+//                                 the THP madvise on fresh pool slabs.
 //   --csv [--csv_rows=N]          print result as CSV
 //   --stats                       print execution telemetry (text, stderr)
 //   --stats=json                  print telemetry as one JSON object on
@@ -132,6 +136,13 @@ int main(int argc, char** argv) {
   std::vector<cea::Column> values;
   for (int c = 0; c <= max_col; ++c) {
     values.push_back(cea::GenerateValues(keys.size(), 1000 + c));
+  }
+
+  // Run-store memory knobs (process-wide, set before the operator runs).
+  cea::MemoryBudget::Global().SetLimit(flags.GetUint("mem_budget_mb", 0) *
+                                       (size_t{1} << 20));
+  if (flags.Has("no_huge_pages")) {
+    cea::ChunkPool::Global().set_huge_pages(false);
   }
 
   // Operator options.
