@@ -1,44 +1,108 @@
 // Minimal status type for user-facing failures.
 //
 // Internal invariants use CEA_CHECK (cea/common/check.h); Status covers the
-// two failure classes a caller can observe: bad arguments (an aggregation
-// spec that references a column the input table does not have) and runtime
-// execution failures (a task that threw, e.g. on allocation failure), which
-// the task scheduler captures and the operator propagates instead of
-// terminating the process.
+// failure classes a caller can observe: bad arguments (an aggregation spec
+// that references a column the input table does not have), runtime execution
+// failures (a task that threw, e.g. on allocation failure), and the query
+// lifecycle outcomes introduced with cooperative cancellation — a query that
+// was cancelled, one that ran past its deadline, and one that an admission
+// gate turned away because resources cannot fit it. The code travels with
+// the message so callers can branch (retry a kResourceExhausted rejection,
+// drop a kCancelled query) without parsing strings.
 
 #ifndef CEA_COMMON_STATUS_H_
 #define CEA_COMMON_STATUS_H_
 
+#include <exception>
 #include <string>
 #include <utility>
 
 namespace cea {
 
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kRuntimeError,
+  kCancelled,          // the query's cancellation token was triggered
+  kDeadlineExceeded,   // the query ran past its deadline
+  kResourceExhausted,  // admission/budget rejection, not a crash
+};
+
 // Result of a fallible user-facing operation. Default-constructed Status is
-// OK; an error carries a human-readable message.
+// OK; an error carries a code and a human-readable message.
 class Status {
  public:
   Status() = default;
 
   static Status Ok() { return Status(); }
   static Status InvalidArgument(std::string message) {
-    return Status(std::move(message));
+    return Status(StatusCode::kInvalidArgument, std::move(message));
   }
   // Execution failure surfaced at runtime (captured task exception,
   // allocation failure, ...). The message must be non-empty.
   static Status RuntimeError(std::string message) {
-    return Status(message.empty() ? std::string("unknown runtime error")
+    return Status(StatusCode::kRuntimeError,
+                  message.empty() ? std::string("unknown runtime error")
                                   : std::move(message));
   }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled,
+                  message.empty() ? std::string("query cancelled")
+                                  : std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded,
+                  message.empty() ? std::string("deadline exceeded")
+                                  : std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted,
+                  message.empty() ? std::string("resources exhausted")
+                                  : std::move(message));
+  }
+  // Rebuilds a status with an explicit code — for code paths that augment
+  // an existing error's message (e.g. appending teardown context) without
+  // demoting its code. kOk with a message is normalized to plain Ok.
+  static Status FromCode(StatusCode code, std::string message) {
+    if (code == StatusCode::kOk) return Ok();
+    return Status(code, std::move(message));
+  }
 
-  bool ok() const { return message_.empty(); }
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
- private:
-  explicit Status(std::string message) : message_(std::move(message)) {}
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
   std::string message_;
+};
+
+// Exception carrier for a typed Status through code that unwinds via
+// exceptions (the task scheduler's error path, the streaming batch loop).
+// The scheduler catches StatusError ahead of std::exception and preserves
+// the carried code, so a cancellation thrown inside a pass task surfaces
+// from Wait()/WaitGroup() as kCancelled instead of a generic kRuntimeError.
+class StatusError : public std::exception {
+ public:
+  explicit StatusError(Status status) : status_(std::move(status)) {}
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override {
+    return status_.message().c_str();
+  }
+
+ private:
+  Status status_;
 };
 
 }  // namespace cea

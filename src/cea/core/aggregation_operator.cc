@@ -34,6 +34,17 @@ Status MergeAbortStatus(const Status& drain, std::string primary) {
   return Status::RuntimeError(std::move(primary));
 }
 
+// Typed variant: keeps the primary status' code (a cancelled stream must
+// surface kCancelled, not a generic runtime error) while still appending
+// the teardown drain failure to the message.
+Status MergeAbortStatus(const Status& drain, Status primary) {
+  if (drain.ok()) return primary;
+  return Status::FromCode(primary.code(),
+                          primary.message() +
+                              "; worker error during teardown: " +
+                              drain.message());
+}
+
 // Floor for ExactGroupsHint: small enough not to waste memory on a truly
 // tiny bucket, large enough that the growable table does not start at its
 // minimal capacity and double repeatedly while absorbing a typical
@@ -86,7 +97,16 @@ AggregationOperator::AggregationOperator(std::vector<AggregateSpec> specs,
       policy_ = MakePartitionAlwaysPolicy(options_.partition_passes);
       break;
   }
-  scheduler_ = std::make_unique<TaskScheduler>(options_.num_threads);
+  if (options_.scheduler != nullptr) {
+    // Shared pool: worker ids arrive from it, so every per-worker array
+    // below must be sized to the pool, not to the caller's num_threads.
+    scheduler_ = options_.scheduler;
+    options_.num_threads = scheduler_->num_threads();
+  } else {
+    owned_scheduler_ = std::make_unique<TaskScheduler>(options_.num_threads);
+    scheduler_ = owned_scheduler_.get();
+  }
+  group_ = std::make_unique<TaskGroup>(scheduler_);
   if (options_.obs != nullptr && options_.obs->trace_enabled()) {
     // Size the per-worker span buffers before any pass records into them.
     options_.obs->trace().EnsureThreads(options_.num_threads);
@@ -186,17 +206,27 @@ Status AggregationOperator::Execute(const InputTable& input,
   }
   Status v = ValidateSpecs(input);
   if (!v.ok()) return v;
+  control_.Arm(options_.cancel_token, options_.deadline);
+  // Fast-fail: a query whose token already fired (or whose budget is
+  // already spent) does not schedule anything.
+  Status pre = control_.Check();
+  if (!pre.ok()) {
+    control_.Disarm();
+    return pre;
+  }
   EnsureResources(input.key_columns());
   ResetExecutionState();
 
   if (input.num_rows != 0) {
     ScheduleRootPass(input);
-    Status e = scheduler_->Wait();
+    Status e = scheduler_->WaitGroup(group_.get());
     if (!e.ok()) {
       RecoverExecutionState();
+      control_.Disarm();
       return e;
     }
   }
+  control_.Disarm();
 
   CollectResult(result, stats);
   return Status::Ok();
@@ -210,10 +240,12 @@ void AggregationOperator::RecoverExecutionState() {
 Status AggregationOperator::AbortStream() {
   streaming_ = false;
   stream_ctx_.reset();
-  // Drain whatever was still scheduled; a worker failure during the drain
-  // must reach the caller, not vanish into the teardown.
-  Status drain = scheduler_->Wait();
+  // Drain whatever this operator still had scheduled; a worker failure
+  // during the drain must reach the caller, not vanish into the teardown.
+  // Group-scoped, so a shared pool's other queries are not waited on.
+  Status drain = scheduler_->WaitGroup(group_.get());
   RecoverExecutionState();
+  control_.Disarm();
   return drain;
 }
 
@@ -224,11 +256,20 @@ Status AggregationOperator::BeginStream(int key_columns) {
   if (key_columns < 1 || key_columns > kMaxKeyWords) {
     return Status::InvalidArgument("unsupported number of grouping columns");
   }
+  // The streaming deadline covers BeginStream through FinishStream: the
+  // budget is armed here and every batch checks against it.
+  control_.Arm(options_.cancel_token, options_.deadline);
+  Status pre = control_.Check();
+  if (!pre.ok()) {
+    control_.Disarm();
+    return pre;
+  }
   EnsureResources(key_columns);
   ResetExecutionState();
   num_passes_.fetch_add(1, std::memory_order_relaxed);  // the level-0 pass
   stream_ctx_ = std::make_unique<PassContext>(
-      layout_, *policy_, resources_[0].get(), /*level=*/0, &worker_stats_[0]);
+      layout_, *policy_, resources_[0].get(), /*level=*/0, &worker_stats_[0],
+      &control_);
   stream_rows_ = 0;
   streaming_ = true;
   return Status::Ok();
@@ -251,6 +292,7 @@ Status AggregationOperator::ConsumeBatch(const InputTable& batch) {
   ExecStats& ws = worker_stats_[0];
   obs::PassScope span(options_.obs, &resources_[0]->counters(), /*tid=*/0,
                       "stream_batch", /*level=*/0, /*pass_id=*/0);
+  span.set_query(options_.query_id);
   const uint64_t hashed0 = ws.rows_hashed;
   const uint64_t partitioned0 = ws.rows_partitioned;
   span.set_rows(batch.num_rows);
@@ -272,6 +314,10 @@ Status AggregationOperator::ConsumeBatch(const InputTable& batch) {
       }
       stream_ctx_->ProcessMorsel(m);
     }
+  } catch (const StatusError& e) {
+    // Cancellation/deadline unwound the batch loop; keep the typed code so
+    // the caller can tell a cancelled stream from a crashed one.
+    return MergeAbortStatus(AbortStream(), e.status());
   } catch (const std::exception& e) {
     // The PassContext is mid-row and unusable; close the stream.
     return MergeAbortStatus(
@@ -296,6 +342,13 @@ Status AggregationOperator::FinishStream(ResultTable* result,
   }
   streaming_ = false;
 
+  // A token that fired between batches aborts here instead of paying for
+  // the full bucket recursion.
+  Status pre = control_.Check();
+  if (!pre.ok()) {
+    return MergeAbortStatus(AbortStream(), std::move(pre));
+  }
+
   if (stream_rows_ != 0) {
     try {
       Run final_run(key_words_, layout_);
@@ -313,6 +366,8 @@ Status AggregationOperator::FinishStream(ResultTable* result,
           }
         }
       }
+    } catch (const StatusError& e) {
+      return MergeAbortStatus(AbortStream(), e.status());
     } catch (const std::exception& e) {
       return MergeAbortStatus(
           AbortStream(),
@@ -321,14 +376,16 @@ Status AggregationOperator::FinishStream(ResultTable* result,
       return MergeAbortStatus(
           AbortStream(), "stream finalization failed: non-standard exception");
     }
-    Status e = scheduler_->Wait();
+    Status e = scheduler_->WaitGroup(group_.get());
     if (!e.ok()) {
       stream_ctx_.reset();
       RecoverExecutionState();
+      control_.Disarm();
       return e;
     }
   }
   stream_ctx_.reset();
+  control_.Disarm();
 
   CollectResult(result, stats);
   return Status::Ok();
@@ -385,7 +442,7 @@ void AggregationOperator::SchedulePass(std::shared_ptr<Pass> pass) {
   CEA_CHECK(tasks >= 1);
   pass->active_workers.store(tasks, std::memory_order_relaxed);
   for (int t = 0; t < tasks; ++t) {
-    scheduler_->Submit([this, pass](int worker_id) {
+    scheduler_->Submit(group_.get(), [this, pass](int worker_id) {
       RunPassWorker(pass, worker_id);
     });
   }
@@ -399,6 +456,7 @@ void AggregationOperator::RunPassWorker(const std::shared_ptr<Pass>& pass,
     ExecStats& ws = worker_stats_[worker_id];
     obs::PassScope span(options_.obs, &resources_[worker_id]->counters(),
                         worker_id, "pass", pass->level, pass->id);
+    span.set_query(options_.query_id);
     const uint64_t hashed0 = ws.rows_hashed;
     const uint64_t partitioned0 = ws.rows_partitioned;
     std::unique_ptr<PassContext> ctx;
@@ -410,7 +468,8 @@ void AggregationOperator::RunPassWorker(const std::shared_ptr<Pass>& pass,
         ctx = std::make_unique<PassContext>(layout_, *policy_,
                                             resources_[worker_id].get(),
                                             pass->level,
-                                            &worker_stats_[worker_id]);
+                                            &worker_stats_[worker_id],
+                                            &control_);
       }
       ctx->ProcessMorsel(pass->morsels[i]);
     }
@@ -455,6 +514,11 @@ void AggregationOperator::CompletePass(const std::shared_ptr<Pass>& pass) {
 }
 
 void AggregationOperator::ScheduleBucket(Bucket bucket, int level) {
+  // Bucket-schedule cancellation boundary: a fired token stops the
+  // recursion from fanning out further work. Callers are worker tasks
+  // (CompletePass) or FinishStream's guarded fragment, so the StatusError
+  // lands in the scheduler's — or the stream's — typed error path.
+  control_.ThrowIfCancelled();
   if (bucket.size() == 1 && bucket[0].distinct) {
     // A single fully-aggregated run with unique keys is final output; the
     // recursion stops (Section 3.1).
@@ -484,8 +548,8 @@ void AggregationOperator::ScheduleExact(std::vector<Morsel> morsels,
   auto morsels_ptr =
       std::make_shared<std::vector<Morsel>>(std::move(morsels));
   auto source_ptr = std::make_shared<Bucket>(std::move(source));
-  scheduler_->Submit([this, morsels_ptr, source_ptr, level,
-                      expected](int worker_id) {
+  scheduler_->Submit(group_.get(), [this, morsels_ptr, source_ptr, level,
+                                    expected](int worker_id) {
     if (options_.fault_hook) options_.fault_hook(level);
     // Exact tasks are often sub-microsecond (one per tiny bucket), so the
     // instrumentation piggybacks on the clock reads the stats below need
@@ -499,13 +563,15 @@ void AggregationOperator::ScheduleExact(std::vector<Morsel> morsels,
     size_t rows = 0;
     for (const Morsel& m : *morsels_ptr) rows += m.n;
     Run final_run(key_words_, layout_);
-    AggregateExact(*morsels_ptr, key_words_, layout_, expected, &final_run);
+    AggregateExact(*morsels_ptr, key_words_, layout_, expected, &final_run,
+                   &control_);
     auto end = std::chrono::steady_clock::now();
     if (obs != nullptr) {
       obs::TraceSpan span;
       span.name = "exact";
       span.routine = "EXACT";
       span.tid = worker_id;
+      span.query_id = options_.query_id;
       span.level = level;
       span.pass_id = num_exact_.fetch_add(1, std::memory_order_relaxed);
       span.rows = rows;

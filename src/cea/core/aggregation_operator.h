@@ -20,6 +20,7 @@
 #define CEA_CORE_AGGREGATION_OPERATOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -32,6 +33,7 @@
 #include "cea/common/status.h"
 #include "cea/core/policy.h"
 #include "cea/core/routines.h"
+#include "cea/exec/cancellation.h"
 #include "cea/exec/task_scheduler.h"
 #include "cea/mem/chunk_pool.h"
 #include "cea/obs/obs.h"
@@ -77,6 +79,30 @@ struct AggregationOptions {
   size_t k_hint = 0;
 
   MachineInfo machine = DetectMachine();
+
+  // Shared worker pool (e.g. QuerySession::scheduler()); non-owning, must
+  // outlive the operator. With nullptr the operator owns a private pool of
+  // num_threads workers. With a shared pool num_threads is ignored — the
+  // per-worker resources are sized to the pool, because worker ids arrive
+  // from it.
+  TaskScheduler* scheduler = nullptr;
+
+  // External cancellation handle (CancellationSource::token()). Checked
+  // cooperatively at morsel and SWC-flush boundaries and at
+  // bucket-schedule points: once it fires, Execute/ConsumeBatch/
+  // FinishStream return kCancelled within about one morsel of work per
+  // worker and the operator stays reusable. A default token never fires.
+  CancellationToken cancel_token;
+
+  // Per-execution time budget, armed when Execute/BeginStream starts
+  // (for streaming it covers BeginStream through FinishStream). Zero or
+  // negative = no deadline. Expiry surfaces as kDeadlineExceeded with the
+  // same cooperative granularity as cancellation.
+  std::chrono::nanoseconds deadline{0};
+
+  // Tags this operator's trace spans (concurrent queries share one
+  // ObsContext trace); 0 = untagged standalone execution.
+  uint64_t query_id = 0;
 
   // Optional observability session (hardware counters + trace spans per
   // pass). Non-owning; must outlive the operator. With nullptr the hot
@@ -130,6 +156,16 @@ class AggregationOperator {
   int num_threads() const { return scheduler_->num_threads(); }
   const Policy& policy() const { return *policy_; }
 
+  // Replaces the external cancellation token / time budget for subsequent
+  // executions (a default token / zero budget clears them). Must not be
+  // called while an Execute is running or a stream is open.
+  void set_cancel_token(CancellationToken token) {
+    options_.cancel_token = std::move(token);
+  }
+  void set_deadline(std::chrono::nanoseconds deadline) {
+    options_.deadline = deadline;
+  }
+
  private:
   struct Pass;
 
@@ -148,7 +184,16 @@ class AggregationOperator {
   AggregationOptions options_;
   int key_words_ = 0;  // key width of the current/last Execute
   std::unique_ptr<Policy> policy_;
-  std::unique_ptr<TaskScheduler> scheduler_;
+  // Set when options_.scheduler == nullptr; otherwise the pool is shared.
+  std::unique_ptr<TaskScheduler> owned_scheduler_;
+  TaskScheduler* scheduler_ = nullptr;
+  // Per-operator completion/error accounting on the (possibly shared)
+  // pool. Declared after owned_scheduler_ so it is destroyed first — its
+  // destructor takes the scheduler's mutex.
+  std::unique_ptr<TaskGroup> group_;
+  // Per-execution cancellation/deadline view; armed by Execute/BeginStream
+  // and polled by every pass context and exact task of this operator.
+  QueryControl control_;
 
   std::vector<std::unique_ptr<WorkerResources>> resources_;  // per worker
   std::vector<ExecStats> worker_stats_;                      // per worker

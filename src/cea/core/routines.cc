@@ -64,12 +64,13 @@ WorkerResources::WorkerResources(int key_words, const StateLayout& layout,
 
 PassContext::PassContext(const StateLayout& layout, const Policy& policy,
                          WorkerResources* resources, int level,
-                         ExecStats* stats)
+                         ExecStats* stats, const QueryControl* control)
     : layout_(layout),
       policy_(policy),
       res_(*resources),
       level_(level),
       stats_(stats),
+      control_(control),
       mode_(policy.InitialMode(level)) {
   CEA_CHECK(level >= 0 && level < kMaxRadixLevel);
   res_.table().Clear();
@@ -318,6 +319,10 @@ void PassContext::SplitTable() {
 void PassContext::ProcessMorsel(const Morsel& m) {
   CEA_CHECK_MSG(m.n <= res_.max_morsel_rows(),
                 "morsel exceeds the mapping buffers of WorkerResources");
+  // Cancellation boundary: one check per morsel bounds the post-cancel
+  // work of this worker to a single morsel. The pass state stays
+  // consistent — nothing of this morsel has been consumed yet.
+  if (control_ != nullptr) control_->ThrowIfCancelled();
   size_t i = 0;
   while (i < m.n) {
     if (mode_ == Mode::kPartition) {
@@ -352,6 +357,10 @@ void PassContext::ProcessMorsel(const Morsel& m) {
       SplitTable();
       ++flushes_;
       ++stats_->tables_flushed;
+      // Cancellation boundary: the SWC flush just completed, so the run
+      // store is consistent and large low-cardinality morsels (many
+      // flushes per morsel) still observe cancellation promptly.
+      if (control_ != nullptr) control_->ThrowIfCancelled();
       Mode next = policy_.OnTableFull(alpha, level_);
       if (next == Mode::kPartition) {
         mode_ = Mode::kPartition;
@@ -401,10 +410,11 @@ bool PassContext::Finalize(size_t pass_total_rows, Run* final_run) {
 
 void AggregateExact(const std::vector<Morsel>& morsels, int key_words,
                     const StateLayout& layout, size_t expected_groups,
-                    Run* final_run) {
+                    Run* final_run, const QueryControl* control) {
   GrowableHashTable table(key_words, layout, expected_groups);
   uint64_t key[kMaxKeyWords];
   for (const Morsel& m : morsels) {
+    if (control != nullptr) control->ThrowIfCancelled();
     for (size_t i = 0; i < m.n; ++i) {
       for (int w = 0; w < key_words; ++w) key[w] = m.key_cols[w][i];
       size_t slot = table.FindOrInsert(key);

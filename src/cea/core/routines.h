@@ -28,6 +28,7 @@
 #include "cea/columnar/aggregate_function.h"
 #include "cea/core/policy.h"
 #include "cea/core/run.h"
+#include "cea/exec/cancellation.h"
 #include "cea/hash/radix.h"
 #include "cea/mem/swc_buffer.h"
 #include "cea/obs/perf_counters.h"
@@ -133,11 +134,18 @@ class WorkerResources {
 class PassContext {
  public:
   // key width is taken from `resources` (which owns the table).
+  // `control`, when non-null, is polled at morsel entry and at table-flush
+  // boundaries; a fired token unwinds the pass by throwing StatusError
+  // (cea/exec/cancellation.h), which the scheduler converts back into a
+  // typed Status.
   PassContext(const StateLayout& layout, const Policy& policy,
-              WorkerResources* resources, int level, ExecStats* stats);
+              WorkerResources* resources, int level, ExecStats* stats,
+              const QueryControl* control = nullptr);
 
   // Processes one morsel with the current mode, switching routines at
-  // table-flush / quota boundaries as the policy dictates.
+  // table-flush / quota boundaries as the policy dictates. Throws
+  // StatusError when the attached QueryControl fired (cooperative
+  // cancellation at morsel/flush granularity, never per row).
   void ProcessMorsel(const Morsel& morsel);
 
   // Called once when the worker can claim no more morsels. If this worker
@@ -168,6 +176,7 @@ class PassContext {
   WorkerResources& res_;
   int level_;
   ExecStats* stats_;
+  const QueryControl* control_;
 
   std::array<Run, kFanOut> runs_;
   std::array<uint32_t, kFanOut> split_touches_{};  // splits that hit partition p
@@ -186,10 +195,11 @@ class PassContext {
 
 // Exact-key aggregation of a morsel sequence with a growable table. Used
 // for max-depth fallback buckets and PartitionAlways' final pass. Appends
-// the aggregate as one distinct run.
+// the aggregate as one distinct run. `control`, when non-null, is polled
+// between morsels (throws StatusError once it fired).
 void AggregateExact(const std::vector<Morsel>& morsels, int key_words,
                     const StateLayout& layout, size_t expected_groups,
-                    Run* final_run);
+                    Run* final_run, const QueryControl* control = nullptr);
 
 // Builds the morsel list of a bucket (one morsel per key chunk, with the
 // state chunks attached). The bucket must stay alive while morsels are

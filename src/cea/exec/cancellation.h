@@ -1,0 +1,206 @@
+// Cooperative query cancellation and deadlines.
+//
+// A CancellationSource is owned by whoever controls a query's lifetime (a
+// client thread, an admission layer, a test); CancellationToken is the
+// cheap shared handle the execution layer polls. Cancellation is purely
+// cooperative: nothing is interrupted preemptively. The operator checks the
+// token at morsel and SWC-flush boundaries inside a pass and at
+// bucket-schedule points between passes, so a cancelled or deadline-expired
+// query unwinds through the scheduler's existing Status error path within
+// about one morsel's worth of work per worker, leaving the operator
+// reusable.
+//
+// Cost model: an unarmed check is one pointer test; an armed check is one
+// relaxed atomic load, plus a steady_clock read only when a deadline is
+// set. Checks run at morsel (tens of thousands of rows) granularity, never
+// per row.
+
+#ifndef CEA_EXEC_CANCELLATION_H_
+#define CEA_EXEC_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "cea/common/status.h"
+
+namespace cea {
+
+namespace detail {
+
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+  // Absolute steady-clock deadline in ns since epoch; kNoDeadline = none.
+  std::atomic<int64_t> deadline_ns{std::numeric_limits<int64_t>::max()};
+  std::mutex mutex;      // guards `reason` (written once, before the flag)
+  std::string reason;
+};
+
+}  // namespace detail
+
+inline constexpr int64_t kNoDeadlineNs = std::numeric_limits<int64_t>::max();
+
+// Steady-clock now in ns since the clock's epoch, comparable with the
+// deadline values stored in CancelState.
+inline int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Copyable, cheap handle to a CancellationSource. A default-constructed
+// token is "null": never cancelled, never expires, one pointer test per
+// check.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  // True once Cancel() was called or the deadline passed.
+  bool cancelled() const {
+    if (state_ == nullptr) return false;
+    if (state_->cancelled.load(std::memory_order_acquire)) return true;
+    int64_t d = state_->deadline_ns.load(std::memory_order_relaxed);
+    return d != kNoDeadlineNs && SteadyNowNs() >= d;
+  }
+
+  // Ok, or the typed reason the query must stop: kCancelled with the
+  // Cancel() reason, or kDeadlineExceeded. Explicit cancellation wins over
+  // a simultaneously expired deadline.
+  Status status() const {
+    if (state_ == nullptr) return Status::Ok();
+    if (state_->cancelled.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      return Status::Cancelled(state_->reason);
+    }
+    int64_t d = state_->deadline_ns.load(std::memory_order_relaxed);
+    if (d != kNoDeadlineNs && SteadyNowNs() >= d) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::Ok();
+  }
+
+  int64_t deadline_ns() const {
+    return state_ == nullptr
+               ? kNoDeadlineNs
+               : state_->deadline_ns.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<detail::CancelState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+// The controlling end: create one per query, hand token() to the operator
+// (AggregationOptions::cancel_token), call Cancel() from any thread.
+class CancellationSource {
+ public:
+  CancellationSource() : state_(std::make_shared<detail::CancelState>()) {}
+
+  CancellationToken token() const { return CancellationToken(state_); }
+
+  // Idempotent; the first call's reason sticks. Thread-safe.
+  void Cancel(std::string reason = "query cancelled") {
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      if (state_->reason.empty()) state_->reason = std::move(reason);
+    }
+    state_->cancelled.store(true, std::memory_order_release);
+  }
+
+  void SetDeadline(std::chrono::steady_clock::time_point tp) {
+    state_->deadline_ns.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            tp.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+  }
+
+  // Deadline `budget` from now; non-positive budgets clear the deadline.
+  void SetTimeout(std::chrono::nanoseconds budget) {
+    state_->deadline_ns.store(
+        budget.count() > 0 ? SteadyNowNs() + budget.count() : kNoDeadlineNs,
+        std::memory_order_relaxed);
+  }
+
+  bool cancelled() const { return CancellationToken(state_).cancelled(); }
+
+ private:
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+// Per-execution cancellation view: the caller's external token plus the
+// absolute deadline derived from AggregationOptions::deadline at
+// Execute/BeginStream time. The operator owns one and hands a pointer to
+// every pass context and exact-fallback task; the deadline lives here (not
+// in the token) so one external token can fan out to queries with
+// different time budgets.
+class QueryControl {
+ public:
+  // Arms the control for one execution window. `budget` <= 0 means no
+  // deadline.
+  void Arm(CancellationToken token, std::chrono::nanoseconds budget) {
+    token_ = std::move(token);
+    deadline_ns_ =
+        budget.count() > 0 ? SteadyNowNs() + budget.count() : kNoDeadlineNs;
+    budget_ = budget;
+    armed_ = token_.valid() || deadline_ns_ != kNoDeadlineNs;
+  }
+
+  void Disarm() {
+    token_ = CancellationToken();
+    deadline_ns_ = kNoDeadlineNs;
+    armed_ = false;
+  }
+
+  bool armed() const { return armed_; }
+
+  bool cancelled() const {
+    if (!armed_) return false;
+    if (token_.cancelled()) return true;
+    return deadline_ns_ != kNoDeadlineNs && SteadyNowNs() >= deadline_ns_;
+  }
+
+  // Ok, or the typed Status that must unwind this query.
+  Status Check() const {
+    if (!armed_) return Status::Ok();
+    Status s = token_.status();
+    if (!s.ok()) return s;
+    if (deadline_ns_ != kNoDeadlineNs && SteadyNowNs() >= deadline_ns_) {
+      return Status::DeadlineExceeded(
+          "query deadline of " +
+          std::to_string(
+              std::chrono::duration_cast<std::chrono::milliseconds>(budget_)
+                  .count()) +
+          " ms exceeded");
+    }
+    return Status::Ok();
+  }
+
+  // Throws StatusError when the query must stop; the scheduler's error
+  // path converts it back into the typed Status returned by WaitGroup().
+  void ThrowIfCancelled() const {
+    if (!armed_) return;
+    Status s = Check();
+    if (!s.ok()) throw StatusError(std::move(s));
+  }
+
+ private:
+  CancellationToken token_;
+  int64_t deadline_ns_ = kNoDeadlineNs;
+  std::chrono::nanoseconds budget_{0};
+  bool armed_ = false;
+};
+
+}  // namespace cea
+
+#endif  // CEA_EXEC_CANCELLATION_H_

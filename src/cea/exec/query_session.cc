@@ -1,0 +1,136 @@
+#include "cea/exec/query_session.h"
+
+#include <chrono>
+#include <string>
+
+#include "cea/common/check.h"
+#include "cea/mem/chunk_pool.h"
+
+namespace cea {
+namespace {
+
+std::string HumanBytes(size_t bytes) {
+  constexpr size_t kMiB = size_t{1} << 20;
+  if (bytes >= kMiB && bytes % kMiB == 0) {
+    return std::to_string(bytes / kMiB) + " MiB";
+  }
+  return std::to_string(bytes) + " bytes";
+}
+
+}  // namespace
+
+QuerySession::QuerySession() : QuerySession(Options()) {}
+
+QuerySession::QuerySession(const Options& options) : options_(options) {
+  capacity_ = options_.admission_bytes;
+  if (capacity_ == 0) {
+    // Adopt the process-wide budget so reservations and real allocations
+    // police the same number unless the caller says otherwise.
+    capacity_ = MemoryBudget::Global().limit();
+  }
+  int threads = options_.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  scheduler_ = std::make_unique<TaskScheduler>(threads);
+}
+
+QuerySession::~QuerySession() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CEA_CHECK_MSG(active_ == 0 && fifo_.empty(),
+                "QuerySession destroyed with admitted or queued queries");
+}
+
+void QuerySession::Admission::Release() {
+  if (session_ == nullptr) return;
+  session_->Release(bytes_);
+  session_ = nullptr;
+}
+
+Status QuerySession::Admit(size_t bytes, Admission* grant,
+                           CancellationToken token) {
+  CEA_CHECK(grant != nullptr && !grant->admitted());
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (capacity_ != 0 && bytes > capacity_) {
+    ++rejected_total_;
+    return Status::ResourceExhausted(
+        "query needs " + HumanBytes(bytes) + " but the session capacity is " +
+        HumanBytes(capacity_) + "; it can never be admitted");
+  }
+  const bool must_wait = !fifo_.empty() || !Fits(bytes);
+  if (must_wait) {
+    if (fifo_.size() >= options_.max_queued) {
+      ++rejected_total_;
+      return Status::ResourceExhausted(
+          "admission queue is full (" + std::to_string(fifo_.size()) +
+          " queries waiting); rejecting instead of queueing");
+    }
+    const uint64_t ticket = next_ticket_++;
+    fifo_.push_back(ticket);
+    // FIFO: only the head ticket may take the slot; later arrivals wait
+    // behind it even if they would fit, so a large query cannot starve.
+    while (fifo_.front() != ticket || !Fits(bytes)) {
+      Status cancel = token.status();
+      if (!cancel.ok()) {
+        for (auto it = fifo_.begin(); it != fifo_.end(); ++it) {
+          if (*it == ticket) {
+            fifo_.erase(it);
+            break;
+          }
+        }
+        ++rejected_total_;
+        cv_.notify_all();  // the next ticket may be serviceable now
+        return cancel;
+      }
+      // Poll the token at a coarse interval; admission waits are long
+      // relative to 10ms and tokens carry no waker hook.
+      cv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+    fifo_.pop_front();
+  }
+  reserved_ += bytes;
+  ++active_;
+  ++admitted_total_;
+  grant->session_ = this;
+  grant->bytes_ = bytes;
+  grant->query_id_ = ++next_query_id_;
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+void QuerySession::Release(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CEA_CHECK_MSG(reserved_ >= bytes && active_ > 0,
+                "admission release does not match a reservation");
+  reserved_ -= bytes;
+  --active_;
+  cv_.notify_all();
+}
+
+int QuerySession::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+size_t QuerySession::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fifo_.size();
+}
+
+size_t QuerySession::reserved_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reserved_;
+}
+
+uint64_t QuerySession::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitted_total_;
+}
+
+uint64_t QuerySession::rejected_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_total_;
+}
+
+}  // namespace cea

@@ -1,6 +1,7 @@
 #include "cea/exec/task_scheduler.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <string>
 #include <utility>
@@ -14,12 +15,54 @@ namespace {
 // the thread belongs to (a worker of pool A is an outside caller for pool
 // B); tls_task_depth counts the enclosing task frames on this thread —
 // plain tasks plus tasks executed while helping to drain inside a nested
-// Wait()/ParallelFor.
+// Wait()/WaitGroup()/ParallelFor.
 thread_local TaskScheduler* tls_scheduler = nullptr;
 thread_local int tls_worker_id = -1;
 thread_local size_t tls_task_depth = 0;
+// Group of each enclosing task frame on this thread (nullptr for groupless
+// tasks), innermost last. WaitGroup needs to know how many of its own
+// enclosing frames belong to the awaited group: those frames cannot finish
+// until WaitGroup returns and must not be counted as pending.
+thread_local std::vector<TaskGroup*> tls_group_stack;
+
+// Runs `fn` capturing any exception as a typed Status (ok = no error).
+// StatusError carriers keep their code (cancellation/deadline stay
+// distinguishable from generic runtime failures); everything else becomes
+// kRuntimeError.
+template <typename Fn>
+Status RunCatching(Fn&& fn) {
+  try {
+    fn();
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::exception& e) {
+    std::string error = e.what();
+    if (error.empty()) error = "task failed with an empty message";
+    return Status::RuntimeError(std::move(error));
+  } catch (...) {
+    return Status::RuntimeError("task failed with a non-standard exception");
+  }
+  return Status::Ok();
+}
 
 }  // namespace
+
+TaskGroup::~TaskGroup() {
+  if (scheduler_ == nullptr) return;
+  Status leftover;
+  {
+    std::lock_guard<std::mutex> lock(scheduler_->mutex_);
+    CEA_CHECK_MSG(pending_ == 0,
+                  "TaskGroup destroyed with tasks still pending");
+    leftover = std::move(error_);
+  }
+  if (!leftover.ok()) {
+    std::fprintf(stderr,
+                 "TaskGroup destroyed with an unobserved task error: %s\n",
+                 leftover.message().c_str());
+    CEA_DCHECK(leftover.ok());
+  }
+}
 
 // Per-call state of one ParallelFor: the loop body (owned here so queued
 // tasks never reference the caller's stack frame), the index cursor, and
@@ -48,39 +91,52 @@ TaskScheduler::~TaskScheduler() {
   }
   cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  // Workers are gone; any error still sitting in the pool-wide slot — left
+  // unobserved before destruction or raised by a task during the drain —
+  // can no longer reach a caller. Surface it instead of swallowing it
+  // silently (and make it fatal in debug builds, where losing an error is
+  // a bug in the calling code).
+  if (!first_error_.ok()) {
+    std::fprintf(
+        stderr,
+        "TaskScheduler destroyed with an unobserved task error: %s\n",
+        first_error_.message().c_str());
+    CEA_DCHECK(first_error_.ok());
+  }
 }
 
-void TaskScheduler::Submit(Task task) {
+void TaskScheduler::Submit(TaskGroup* group, Task task) {
+  CEA_DCHECK(group == nullptr || group->scheduler_ == this);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     ++outstanding_;
-    queue_.push_back(std::move(task));
+    if (group != nullptr) ++group->pending_;
+    queue_.push_back(Item{std::move(task), group});
   }
   // notify_all, not notify_one: besides idle workers, callers blocked in
-  // Wait()/ParallelFor must wake to help drain the new work.
+  // Wait()/WaitGroup()/ParallelFor must wake to help drain the new work.
   cv_.notify_all();
 }
 
-void TaskScheduler::RunTask(std::unique_lock<std::mutex>& lock, Task task,
+void TaskScheduler::RunTask(std::unique_lock<std::mutex>& lock, Item item,
                             int worker_id) {
   lock.unlock();
-  std::string error;
   ++tls_task_depth;
-  try {
-    task(worker_id);
-  } catch (const std::exception& e) {
-    error = e.what();
-    if (error.empty()) error = "task failed with an empty message";
-  } catch (...) {
-    error = "task failed with a non-standard exception";
-  }
+  tls_group_stack.push_back(item.group);
+  Status error = RunCatching([&] { item.fn(worker_id); });
+  tls_group_stack.pop_back();
   --tls_task_depth;
-  task = Task();  // release captured state (run memory) outside the lock
+  item.fn = Task();  // release captured state (run memory) outside the lock
   lock.lock();
-  if (!error.empty() && first_error_.ok()) {
-    first_error_ = Status::RuntimeError(std::move(error));
+  if (!error.ok()) {
+    if (item.group != nullptr) {
+      if (item.group->error_.ok()) item.group->error_ = std::move(error);
+    } else if (first_error_.ok()) {
+      first_error_ = std::move(error);
+    }
   }
   --outstanding_;
+  if (item.group != nullptr) --item.group->pending_;
   cv_.notify_all();
 }
 
@@ -89,9 +145,9 @@ Status TaskScheduler::Wait() {
   const bool from_worker = tls_scheduler == this;
   for (;;) {
     if (from_worker && !queue_.empty()) {
-      Task task = std::move(queue_.front());
+      Item item = std::move(queue_.front());
       queue_.pop_front();
-      RunTask(lock, std::move(task), tls_worker_id);
+      RunTask(lock, std::move(item), tls_worker_id);
       continue;
     }
     // Done when every outstanding task is an enclosing frame of a blocked
@@ -109,6 +165,44 @@ Status TaskScheduler::Wait() {
   return error;
 }
 
+Status TaskScheduler::WaitGroup(TaskGroup* group) {
+  CEA_CHECK_MSG(group != nullptr && group->scheduler_ == this,
+                "WaitGroup on a group of a different scheduler");
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool from_worker = tls_scheduler == this;
+  // Enclosing frames of this thread that belong to the awaited group: they
+  // cannot finish until this WaitGroup returns, so counting them as
+  // pending would deadlock (a group task joining its own group).
+  size_t own = 0;
+  if (from_worker) {
+    for (TaskGroup* g : tls_group_stack) {
+      if (g == group) ++own;
+    }
+  }
+  for (;;) {
+    if (from_worker && !queue_.empty()) {
+      // Help drain: run any queued task — ours or another group's — so
+      // progress is guaranteed even when every worker is blocked in a
+      // nested join. Unlike frames blocked in Wait(), frames blocked here
+      // resume as soon as *this group* drains (which never requires global
+      // quiescence), so they are not added to blocked_depth_.
+      Item item = std::move(queue_.front());
+      queue_.pop_front();
+      RunTask(lock, std::move(item), tls_worker_id);
+      continue;
+    }
+    // Done when every pending task of the group is an enclosing frame of a
+    // WaitGroup on it — ours (`own`) or another worker's (blocked_).
+    if (group->pending_ == group->blocked_ + own) break;
+    group->blocked_ += own;
+    cv_.wait(lock);
+    group->blocked_ -= own;
+  }
+  Status error = std::move(group->error_);
+  group->error_ = Status();
+  return error;
+}
+
 Status TaskScheduler::ParallelFor(size_t n,
                                   std::function<void(int, size_t)> fn) {
   if (n == 0) return Status::Ok();
@@ -122,24 +216,17 @@ Status TaskScheduler::ParallelFor(size_t n,
   // pool-wide slot) and signs off on the group's pending count itself, so
   // the caller can return as soon as the loop body is done everywhere.
   auto body = [this, st](int worker_id) {
-    std::string error;
-    try {
+    Status error = RunCatching([&] {
       for (size_t i = st->cursor.fetch_add(1, std::memory_order_relaxed);
            i < st->n && !st->failed.load(std::memory_order_relaxed);
            i = st->cursor.fetch_add(1, std::memory_order_relaxed)) {
         st->fn(worker_id, i);
       }
-    } catch (const std::exception& e) {
-      error = e.what();
-      if (error.empty()) error = "ParallelFor body failed with empty message";
-      st->failed.store(true, std::memory_order_relaxed);
-    } catch (...) {
-      error = "ParallelFor body failed with a non-standard exception";
-      st->failed.store(true, std::memory_order_relaxed);
-    }
+    });
+    if (!error.ok()) st->failed.store(true, std::memory_order_relaxed);
     std::lock_guard<std::mutex> group_lock(mutex_);
-    if (!error.empty() && st->error.ok()) {
-      st->error = Status::RuntimeError(std::move(error));
+    if (!error.ok() && st->error.ok()) {
+      st->error = std::move(error);
     }
     if (--st->pending == 0) cv_.notify_all();
   };
@@ -149,16 +236,16 @@ Status TaskScheduler::ParallelFor(size_t n,
   st->pending = tasks;
   for (size_t t = 0; t < tasks; ++t) {
     ++outstanding_;
-    queue_.push_back(body);
+    queue_.push_back(Item{body, nullptr});
   }
   cv_.notify_all();
   while (st->pending != 0) {
     if (from_worker && !queue_.empty()) {
       // Help drain: run any queued task (ours or unrelated) so progress is
       // guaranteed even when every worker is blocked in a nested join.
-      Task task = std::move(queue_.front());
+      Item item = std::move(queue_.front());
       queue_.pop_front();
-      RunTask(lock, std::move(task), tls_worker_id);
+      RunTask(lock, std::move(item), tls_worker_id);
       continue;
     }
     cv_.wait(lock);
@@ -173,9 +260,9 @@ void TaskScheduler::WorkerLoop(int worker_id) {
   for (;;) {
     cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
     if (queue_.empty()) return;  // shutdown and fully drained
-    Task task = std::move(queue_.front());
+    Item item = std::move(queue_.front());
     queue_.pop_front();
-    RunTask(lock, std::move(task), worker_id);
+    RunTask(lock, std::move(item), worker_id);
   }
 }
 

@@ -14,15 +14,25 @@
 // thread running morsels rather than parked on join barriers.
 //
 // Error propagation: a task that throws does not terminate the process.
-// The worker catches the exception, records the first error as a Status,
-// and keeps the outstanding-task accounting correct, so Wait() returns
-// the error instead of hanging. ParallelFor captures errors per call and
-// never pollutes the pool-wide error slot.
+// The worker catches the exception, records the first error as a Status
+// (a StatusError carrier keeps its typed code — cancellation and deadline
+// failures stay distinguishable), and keeps the outstanding-task
+// accounting correct, so Wait() returns the error instead of hanging.
+// ParallelFor captures errors per call and never pollutes the pool-wide
+// error slot.
 //
-// Nesting: Wait() and ParallelFor may be called from inside a running
-// task. A blocked worker-side caller helps drain the queue instead of
-// parking, so a bucket task that fans out sub-tasks and joins them cannot
-// deadlock the pool — even with a single worker thread.
+// Task groups: several independent queries can share one pool. Tasks
+// submitted under a TaskGroup keep their completion accounting and first
+// error per group; WaitGroup(&g) blocks only until g's tasks finished and
+// returns only g's error, so one query's Wait never absorbs another
+// query's failure or tasks. Group-less Submit/Wait keep the original
+// pool-wide semantics.
+//
+// Nesting: Wait(), WaitGroup() and ParallelFor may be called from inside a
+// running task. A blocked worker-side caller helps drain the queue instead
+// of parking (possibly running other groups' tasks), so a bucket task that
+// fans out sub-tasks and joins them cannot deadlock the pool — even with a
+// single worker thread.
 
 #ifndef CEA_EXEC_TASK_SCHEDULER_H_
 #define CEA_EXEC_TASK_SCHEDULER_H_
@@ -40,19 +50,47 @@
 
 namespace cea {
 
+class TaskScheduler;
+
+// Completion/error bookkeeping for one logical stream of tasks (one query)
+// on a shared TaskScheduler. All state is guarded by the scheduler's
+// mutex; the group itself is just the slot the scheduler writes into. The
+// scheduler must outlive the group; destroying a group with tasks still
+// pending is a caller bug (CEA_CHECKed), and an error nobody collected via
+// WaitGroup() is logged at destruction instead of vanishing.
+class TaskGroup {
+ public:
+  explicit TaskGroup(TaskScheduler* scheduler) : scheduler_(scheduler) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+ private:
+  friend class TaskScheduler;
+  TaskScheduler* scheduler_;
+  size_t pending_ = 0;  // queued + running tasks, guarded by sched mutex_
+  size_t blocked_ = 0;  // enclosing-frame count of workers blocked in
+                        // WaitGroup() on this group, guarded by sched mutex_
+  Status error_;        // first error since the last WaitGroup()
+};
+
 class TaskScheduler {
  public:
   // A task receives the id of the worker executing it ([0, num_threads)),
   // which indexes per-thread contexts (hash tables, SWC buffers, run sets).
   // A task that throws is caught by the scheduler; the first error is
-  // reported by the next Wait().
+  // reported by the next Wait() / WaitGroup().
   using Task = std::function<void(int worker_id)>;
 
   explicit TaskScheduler(int num_threads);
 
   // Drains the queue (all queued tasks still run, including tasks they
   // submit transitively) and joins the workers. Errors raised by tasks
-  // during the drain are swallowed — call Wait() first to observe them.
+  // during the drain — or left unobserved since the last Wait() — cannot
+  // reach a caller anymore: they are logged to stderr and trip a
+  // CEA_DCHECK in debug builds. Call Wait()/WaitGroup() first to observe
+  // them properly.
   ~TaskScheduler();
 
   TaskScheduler(const TaskScheduler&) = delete;
@@ -60,15 +98,28 @@ class TaskScheduler {
 
   // Enqueues a task. May be called from worker threads (recursive
   // scheduling of child buckets) or from outside the pool.
-  void Submit(Task task);
+  void Submit(Task task) { Submit(nullptr, std::move(task)); }
+
+  // Enqueues a task under `group` (nullptr = pool-wide accounting). The
+  // group pointer must stay valid until the task finished.
+  void Submit(TaskGroup* group, Task task);
 
   // Blocks until every submitted task — including tasks submitted by
-  // running tasks — has finished, then returns the first error any task
-  // raised since the previous Wait() (and clears it). Callable from
-  // inside a task: the caller helps drain the queue while it waits, and
-  // tasks that are themselves blocked in Wait() do not count as pending
-  // (two tasks waiting on each other would otherwise deadlock).
+  // running tasks, and tasks of every group — has finished, then returns
+  // the first pool-wide (group-less) error since the previous Wait() (and
+  // clears it). Callable from inside a task: the caller helps drain the
+  // queue while it waits, and tasks that are themselves blocked in Wait()
+  // do not count as pending (two tasks waiting on each other would
+  // otherwise deadlock).
   Status Wait();
+
+  // Blocks until every task submitted under `group` has finished, then
+  // returns the group's first error since the previous WaitGroup() (and
+  // clears it). Other groups' tasks are not waited on and their errors are
+  // never returned here. Callable from inside a task: the caller helps
+  // drain the queue — any queued task, not just the group's — while it
+  // waits.
+  Status WaitGroup(TaskGroup* group);
 
   // Runs fn(worker_id, index) for every index in [0, n), distributing
   // indices over the pool via an atomic cursor, and blocks until all
@@ -81,21 +132,30 @@ class TaskScheduler {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
+  friend class TaskGroup;
   struct ForState;
 
+  // One queue entry: the task plus the group whose accounting it updates
+  // (nullptr = pool-wide).
+  struct Item {
+    Task fn;
+    TaskGroup* group;
+  };
+
   void WorkerLoop(int worker_id);
-  // Pops nothing itself: runs `task` with mutex_ released (catching and
-  // recording errors), then re-acquires mutex_, decrements outstanding_
-  // and wakes waiters. `lock` must be held on entry and is held on exit.
-  void RunTask(std::unique_lock<std::mutex>& lock, Task task, int worker_id);
+  // Pops nothing itself: runs `item.fn` with mutex_ released (catching and
+  // recording errors into the item's group or the pool-wide slot), then
+  // re-acquires mutex_, decrements the pending counters and wakes waiters.
+  // `lock` must be held on entry and is held on exit.
+  void RunTask(std::unique_lock<std::mutex>& lock, Item item, int worker_id);
 
   std::mutex mutex_;
   std::condition_variable cv_;  // queue activity and task completion
-  std::deque<Task> queue_;
+  std::deque<Item> queue_;
   size_t outstanding_ = 0;     // queued + running tasks, guarded by mutex_
   size_t blocked_depth_ = 0;   // enclosing-task frames of workers blocked in
                                // Wait(), guarded by mutex_
-  Status first_error_;         // first task error since last Wait()
+  Status first_error_;         // first pool-wide task error since last Wait()
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

@@ -87,6 +87,9 @@ class PassScope {
 
   void set_rows(uint64_t rows) { span_.rows = rows; }
   void set_routine(const char* routine) { span_.routine = routine; }
+  // Tags the span with the owning query (concurrent sessions share one
+  // trace; the id separates their spans). 0 = standalone execution.
+  void set_query(uint64_t query_id) { span_.query_id = query_id; }
 
  private:
   ObsContext* ctx_ = nullptr;

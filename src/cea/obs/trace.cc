@@ -63,6 +63,7 @@ std::string TraceRecorder::ToChromeJson() const {
       w.Key("level").Int(s.level);
       w.Key("pass").Uint(s.pass_id);
       w.Key("rows").Uint(s.rows);
+      if (s.query_id != 0) w.Key("query").Uint(s.query_id);
       if (s.routine != nullptr) w.Key("routine").String(s.routine);
       for (int e = 0; e < kNumPerfEvents; ++e) {
         if (s.counters.valid[e]) {

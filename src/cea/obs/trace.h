@@ -32,6 +32,7 @@ struct TraceSpan {
   uint64_t dur_ns = 0;
   uint64_t pass_id = 0;
   uint64_t rows = 0;
+  uint64_t query_id = 0;  // 0 = standalone execution (no session)
   int level = 0;
   int tid = 0;  // worker id; also the Chrome trace tid
   PerfSample counters;
@@ -85,7 +86,7 @@ class TraceRecorder {
       TraceSpan& last = spans.back();
       uint64_t last_end = last.start_ns + last.dur_ns;
       if (last.name == span.name && last.level == span.level &&
-          span.start_ns >= last_end &&
+          last.query_id == span.query_id && span.start_ns >= last_end &&
           span.start_ns - last_end <= max_gap_ns) {
         last.dur_ns = span.start_ns + span.dur_ns - last.start_ns;
         last.rows += span.rows;

@@ -6,6 +6,7 @@
 #include "cea/mem/chunk_pool.h"
 
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -207,6 +208,43 @@ TEST(MemoryBudgetTest, PoolAllocationsHitTheLimit) {
   uint64_t* p = pool.Allocate(8192);
   EXPECT_NE(p, nullptr);
   pool.Free(p, 8192);
+}
+
+TEST(MemoryBudgetTest, OversizeChunksAloneExhaustTheBudget) {
+  // Oversize chunks bypass the slab carver entirely, so their accounting
+  // is a separate code path: each Allocate must Reserve and each Free must
+  // Release, with nothing pooled in between. Exhaust the budget purely
+  // through oversize chunks to prove the path is wired to the limit.
+  ChunkPool& pool = ChunkPool::Global();
+  MemoryBudget& budget = MemoryBudget::Global();
+  constexpr size_t kElems = 100'000;  // not a size class
+  constexpr size_t kBytes = kElems * sizeof(uint64_t);
+  const size_t used_before = budget.used();
+  // Room for exactly two oversize chunks on top of current usage.
+  budget.SetLimit(used_before + 2 * kBytes + 1024);
+
+  std::vector<uint64_t*> taken;
+  bool threw = false;
+  std::string message;
+  try {
+    for (int i = 0; i < 3; ++i) taken.push_back(pool.Allocate(kElems));
+  } catch (const MemoryBudgetExceeded& e) {
+    threw = true;
+    message = e.what();
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(taken.size(), 2u);
+  // The failed Reserve rolled back: usage reflects the two live chunks
+  // only, so freeing them restores the starting level exactly.
+  EXPECT_NE(message.find("memory budget"), std::string::npos) << message;
+  for (uint64_t* b : taken) pool.Free(b, kElems);
+  EXPECT_EQ(budget.used(), used_before);
+
+  // With the freed headroom the same allocation succeeds again.
+  uint64_t* p = pool.Allocate(kElems);
+  EXPECT_NE(p, nullptr);
+  pool.Free(p, kElems);
+  budget.SetLimit(0);
 }
 
 TEST(ChunkedArrayPoolTest, ClearReturnsChunksForRecycling) {

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -188,6 +189,49 @@ TEST_P(StreamingFuzz, RandomBatchSplitsMatchReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StreamingFuzz,
                          ::testing::Range<uint64_t>(0, 32),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+class CancellationFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CancellationFuzz, CancelAtRandomPointThenRerunMatchesReference) {
+  // Random config, token fired from the fault hook after a random number
+  // of pass tasks. Two legal outcomes: the run finished before the hook
+  // reached the trigger (must match the reference), or it was cancelled
+  // (typed status). Either way, clearing the token and rerunning the SAME
+  // operator must match the reference exactly — no partial state of the
+  // interrupted run may survive into the next execution.
+  FuzzCase fc = MakeFuzzCase(GetParam() + 5000);
+  SCOPED_TRACE(fc.trace);
+  Rng rng(GetParam() * 0x2545f4914f6cdd1dULL + 11);
+
+  CancellationSource source;
+  std::atomic<uint64_t> hook_calls{0};
+  const uint64_t fire_at = rng.NextBounded(16);
+  fc.options.cancel_token = source.token();
+  fc.options.fault_hook = [&](int) {
+    if (hook_calls.fetch_add(1) == fire_at) source.Cancel("fuzz cancel");
+  };
+
+  AggregationOperator op(fc.specs, fc.options);
+  ResultTable expect = ReferenceAggregate(fc.input, fc.specs);
+  ResultTable got;
+  Status s = op.Execute(fc.input, &got);
+  if (s.ok()) {
+    ExpectResultsMatch(&got, expect);
+  } else {
+    ASSERT_TRUE(s.IsCancelled()) << s.message();
+  }
+
+  op.set_cancel_token(CancellationToken());
+  ResultTable rerun;
+  ASSERT_TRUE(op.Execute(fc.input, &rerun).ok());
+  ExpectResultsMatch(&rerun, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CancellationFuzz,
+                         ::testing::Range<uint64_t>(0, 48),
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            return "seed" + std::to_string(info.param);
                          });

@@ -4,9 +4,11 @@
 
 #include <atomic>
 #include <functional>
+#include <future>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cea/exec/task_scheduler.h"
@@ -272,8 +274,13 @@ TEST(Scheduler, DestructorRunsQueuedWork) {
   EXPECT_EQ(count.load(), 200);
 }
 
-TEST(Scheduler, DestructorSurvivesThrowingQueuedTasks) {
+// Destruction with an unobserved task error: the scheduler no longer
+// swallows it silently. It is logged to stderr in every build, and debug
+// builds treat the lost error as a caller bug and abort via CEA_DCHECK.
+#ifdef NDEBUG
+TEST(Scheduler, DestructorSurfacesSwallowedTaskErrors) {
   std::atomic<int> count{0};
+  ::testing::internal::CaptureStderr();
   {
     TaskScheduler pool(2);
     for (int i = 0; i < 50; ++i) {
@@ -282,9 +289,120 @@ TEST(Scheduler, DestructorSurvivesThrowingQueuedTasks) {
         count.fetch_add(1);
       });
     }
-    // Destructor must swallow the errors, run the rest, and not terminate.
+    // No Wait(): destruct with the errors still unobserved.
   }
+  std::string log = ::testing::internal::GetCapturedStderr();
+  // Every queued task still ran and the lost error reached the log.
   EXPECT_EQ(count.load(), 42);  // 50 minus the 8 multiples of 7 below 50
+  EXPECT_NE(log.find("unobserved task error"), std::string::npos);
+  EXPECT_NE(log.find("boom"), std::string::npos);
+}
+#else
+TEST(SchedulerDeathTest, DestructorTripsOnSwallowedTaskErrors) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        TaskScheduler pool(2);
+        pool.Submit([](int) { throw std::runtime_error("boom"); });
+        // No Wait(): the destructor finds the unobserved error.
+      },
+      "unobserved task error");
+}
+#endif
+
+TEST(Scheduler, StatusErrorKeepsTypedCode) {
+  // A task that unwinds via StatusError must surface its code from Wait()
+  // — cancellation is not a generic runtime failure.
+  TaskScheduler pool(2);
+  pool.Submit([](int) {
+    throw StatusError(Status::Cancelled("stopped by test"));
+  });
+  Status s = pool.Wait();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCancelled());
+  EXPECT_NE(s.message().find("stopped by test"), std::string::npos);
+}
+
+TEST(Scheduler, TaskGroupIsolatesErrorsBetweenGroups) {
+  // Two queries sharing one pool: group A's failure must surface from
+  // WaitGroup(&a) only — neither from WaitGroup(&b) nor from the pool-wide
+  // Wait().
+  TaskScheduler pool(4);
+  TaskGroup a(&pool);
+  TaskGroup b(&pool);
+  std::atomic<int> b_done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit(&a, [i](int) {
+      if (i == 5) throw std::runtime_error("group A failed");
+    });
+    pool.Submit(&b, [&b_done](int) { b_done.fetch_add(1); });
+  }
+  Status sa = pool.WaitGroup(&a);
+  Status sb = pool.WaitGroup(&b);
+  ASSERT_FALSE(sa.ok());
+  EXPECT_NE(sa.message().find("group A failed"), std::string::npos);
+  EXPECT_TRUE(sb.ok());
+  EXPECT_EQ(b_done.load(), 16);
+  EXPECT_TRUE(pool.Wait().ok());
+}
+
+TEST(Scheduler, TaskGroupErrorIsClearedByWaitGroup) {
+  // A group is reusable after its error was observed (the operator reuses
+  // one group across Execute calls).
+  TaskScheduler pool(2);
+  TaskGroup g(&pool);
+  pool.Submit(&g, [](int) { throw std::runtime_error("first round"); });
+  EXPECT_FALSE(pool.WaitGroup(&g).ok());
+  std::atomic<int> ran{0};
+  pool.Submit(&g, [&ran](int) { ran.fetch_add(1); });
+  EXPECT_TRUE(pool.WaitGroup(&g).ok());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Scheduler, WaitGroupDoesNotWaitOnOtherGroups) {
+  // WaitGroup(&fast) must return while another group's task is still
+  // blocked — group completion never requires global quiescence.
+  TaskScheduler pool(2);
+  TaskGroup fast(&pool);
+  TaskGroup slow(&pool);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::atomic<bool> slow_running{false};
+  pool.Submit(&slow, [&](int) {
+    slow_running.store(true);
+    gate.wait();
+  });
+  while (!slow_running.load()) std::this_thread::yield();
+  std::atomic<int> fast_done{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit(&fast, [&fast_done](int) { fast_done.fetch_add(1); });
+  }
+  EXPECT_TRUE(pool.WaitGroup(&fast).ok());
+  EXPECT_EQ(fast_done.load(), 32);
+  EXPECT_TRUE(slow_running.load());
+  release.set_value();
+  EXPECT_TRUE(pool.WaitGroup(&slow).ok());
+}
+
+TEST(Scheduler, WaitGroupFromWorkerHelpsDrain) {
+  // A group task that fans out subtasks under the same group and joins
+  // them from inside the pool must not deadlock, even with one worker.
+  TaskScheduler pool(1);
+  TaskGroup g(&pool);
+  std::atomic<int> leaves{0};
+  std::atomic<bool> all_done_at_join{false};
+  pool.Submit(&g, [&](int) {
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit(&g, [&leaves](int) { leaves.fetch_add(1); });
+    }
+    // Note: this inner WaitGroup also consumes the group's completion of
+    // everything queued so far except the enclosing task itself.
+    EXPECT_TRUE(pool.WaitGroup(&g).ok());
+    all_done_at_join.store(leaves.load() == 16);
+  });
+  EXPECT_TRUE(pool.WaitGroup(&g).ok());
+  EXPECT_EQ(leaves.load(), 16);
+  EXPECT_TRUE(all_done_at_join.load());
 }
 
 TEST(Scheduler, StressTreeSpawnWithFailingLeaves) {

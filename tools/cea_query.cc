@@ -17,10 +17,15 @@
 //                                 generated (uniform < 2^20).
 //   --threads, --table_bytes, --policy=adaptive|hashing|partition
 //   --passes (for partition), --alpha0, --c, --k_hint
+//   --deadline_ms=N               fail the query with kDeadlineExceeded if
+//                                 it runs longer than N milliseconds
+//                                 (cooperative: checked at morsel/flush
+//                                 boundaries). Must be positive.
 //   --mem_budget_mb=N             cap run-store memory at N MiB; exceeding
-//                                 the cap fails the query with a status
-//                                 (0 = unlimited). --no_huge_pages disables
-//                                 the THP madvise on fresh pool slabs.
+//                                 the cap fails the query with a status.
+//                                 Must be positive (omit for unlimited).
+//                                 --no_huge_pages disables the THP madvise
+//                                 on fresh pool slabs.
 //   --csv [--csv_rows=N]          print result as CSV
 //   --stats                       print execution telemetry (text, stderr)
 //   --stats=json                  print telemetry as one JSON object on
@@ -84,6 +89,23 @@ bool ParseAggs(const std::string& spec_list,
   return true;
 }
 
+// Flag sanity: `name`, when present, must be a positive integer. GetUint
+// parses with strtoull, which silently wraps "-5" into a huge positive
+// value — validate on the raw string instead so nonsense fails loudly.
+bool RequirePositive(const cea::Flags& flags, const char* name) {
+  if (!flags.Has(name)) return true;
+  std::string v = flags.GetString(name, "");
+  char* end = nullptr;
+  long long x = std::strtoll(v.c_str(), &end, 0);
+  if (end == v.c_str() || *end != '\0' || x <= 0) {
+    std::fprintf(stderr,
+                 "usage error: --%s=%s (must be a positive integer)\n",
+                 name, v.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,6 +113,14 @@ int main(int argc, char** argv) {
   if (flags.Has("help")) {
     std::printf("see the header comment of tools/cea_query.cc for flags\n");
     return 0;
+  }
+  // A budget of 0 MiB, zero worker threads or a negative deadline are
+  // nonsense; reject them up front instead of running a query that cannot
+  // succeed (or wrapping the value into "unlimited").
+  if (!RequirePositive(flags, "mem_budget_mb") ||
+      !RequirePositive(flags, "deadline_ms") ||
+      !RequirePositive(flags, "threads")) {
+    return 2;
   }
 
   // Input keys.
@@ -152,6 +182,8 @@ int main(int argc, char** argv) {
   options.k_hint = flags.GetUint("k_hint", 0);
   options.alpha0 = flags.GetDouble("alpha0", 11.0);
   options.c = flags.GetUint("c", 10);
+  options.deadline = std::chrono::milliseconds(
+      static_cast<int64_t>(flags.GetUint("deadline_ms", 0)));
   std::string policy = flags.GetString("policy", "adaptive");
   if (policy == "adaptive") {
     options.policy = cea::AggregationOptions::PolicyKind::kAdaptive;
