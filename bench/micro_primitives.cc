@@ -1,85 +1,176 @@
-// Google-benchmark micro-benchmarks of the lowest-level primitives:
-// hashing, radix digits, SWC scatter, chunked-array appends, RNG.
+// Micro-benchmarks of the operator's lowest-level primitives — the three
+// hot loops behind the SIMD dispatch tiers (hash finalization, block
+// probing, SWC line flushing) — reported once per tier so the tiers sit
+// side by side in one table / one JSONL stream.
+//
+// Usage: micro_primitives [--log_n=22] [--reps=5]
+//        [--simd_tier=scalar|avx2|avx512] [--json[=PATH]]
+//
+// Without --simd_tier every tier the host supports is measured (scalar
+// first, so the wider tiers get a speedup_vs_scalar metric); with it, the
+// sweep is restricted to scalar plus the requested tier.
 
-#include <benchmark/benchmark.h>
-
+#include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
+#include "cea/columnar/aggregate_function.h"
 #include "cea/common/random.h"
-#include "cea/hash/murmur.h"
 #include "cea/hash/radix.h"
 #include "cea/mem/chunked_array.h"
 #include "cea/mem/swc_buffer.h"
+#include "cea/simd/dispatch.h"
+#include "cea/table/blocked_hash_table.h"
 
 namespace {
 
-void BM_MurmurHash64(benchmark::State& state) {
-  uint64_t key = 0x123456789abcdefULL;
-  for (auto _ : state) {
-    key = cea::MurmurHash64(key);
-    benchmark::DoNotOptimize(key);
-  }
-}
-BENCHMARK(BM_MurmurHash64);
-
-void BM_MurmurHash64A_Bytes(benchmark::State& state) {
-  std::vector<char> buf(state.range(0), 'x');
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cea::MurmurHash64A(buf.data(), buf.size(), 0));
-  }
-  state.SetBytesProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_MurmurHash64A_Bytes)->Arg(8)->Arg(64)->Arg(1024);
-
-void BM_RadixDigit(benchmark::State& state) {
-  uint64_t h = 0xfedcba9876543210ULL;
-  int level = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cea::RadixDigit(h, level));
-    h += 0x9e3779b97f4a7c15ULL;
-    level = (level + 1) & 7;
-  }
-}
-BENCHMARK(BM_RadixDigit);
-
-void BM_RngNext(benchmark::State& state) {
-  cea::Rng rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.Next());
-  }
-}
-BENCHMARK(BM_RngNext);
-
-void BM_ChunkedArrayAppend(benchmark::State& state) {
-  for (auto _ : state) {
-    state.PauseTiming();
-    cea::ChunkedArray a;
-    state.ResumeTiming();
-    for (uint64_t i = 0; i < 100000; ++i) a.Append(i);
-    benchmark::DoNotOptimize(a.size());
-  }
-  state.SetItemsProcessed(state.iterations() * 100000);
-}
-BENCHMARK(BM_ChunkedArrayAppend);
-
-void BM_SwcScatter(benchmark::State& state) {
-  std::vector<uint64_t> keys(1 << 18);
-  cea::Rng rng(2);
-  for (auto& k : keys) k = rng.Next();
-  for (auto _ : state) {
-    state.PauseTiming();
-    std::vector<cea::ChunkedArray> runs(cea::kFanOut);
-    cea::SwcWriter writer;
-    for (uint32_t p = 0; p < cea::kFanOut; ++p) writer.SetDest(p, &runs[p]);
-    state.ResumeTiming();
-    for (uint64_t k : keys) {
-      writer.Append(cea::RadixDigit(cea::MurmurHash64(k), 0), k);
-    }
-    writer.Flush();
-    benchmark::DoNotOptimize(runs[0].size());
-  }
-  state.SetBytesProcessed(state.iterations() * keys.size() * 8);
-}
-BENCHMARK(BM_SwcScatter);
+// Scalar medians, for the speedup_vs_scalar metric of the wider tiers.
+struct ScalarBaseline {
+  double hash_s = 0;
+  double probe_s = 0;
+  double swc_s = 0;
+};
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  cea::bench::Flags flags(argc, argv);
+  const uint64_t log_n = flags.GetUint("log_n", 22);
+  const size_t n = size_t{1} << log_n;
+  const int reps = static_cast<int>(flags.GetUint("reps", 5));
+
+  std::vector<cea::simd::DispatchTier> tiers;
+  tiers.push_back(cea::simd::DispatchTier::kScalar);
+  if (flags.Has("simd_tier")) {
+    std::string name = flags.GetString("simd_tier", "");
+    cea::simd::DispatchTier forced;
+    if (!cea::simd::ParseTier(name, &forced)) {
+      std::fprintf(stderr,
+                   "usage error: --simd_tier=%s (must be scalar, avx2 or "
+                   "avx512)\n",
+                   name.c_str());
+      return 2;
+    }
+    if (!cea::simd::TierSupported(forced)) {
+      std::fprintf(stderr,
+                   "usage error: --simd_tier=%s is not supported on this "
+                   "CPU/build\n",
+                   name.c_str());
+      return 2;
+    }
+    if (forced != cea::simd::DispatchTier::kScalar) tiers.push_back(forced);
+  } else {
+    for (cea::simd::DispatchTier t : {cea::simd::DispatchTier::kAVX2,
+                                      cea::simd::DispatchTier::kAVX512}) {
+      if (cea::simd::TierSupported(t)) tiers.push_back(t);
+    }
+  }
+
+  // Shared inputs: random keys, their hashes (tier-independent — every
+  // tier computes bit-identical hashes) and the scatter digits.
+  cea::Rng rng(1);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) k = rng.Next();
+  std::vector<uint64_t> hashes(n);
+  cea::simd::OpsForTier(cea::simd::DispatchTier::kScalar)
+      .hash_batch(keys.data(), n, hashes.data());
+
+  // Probe/insert input: few enough groups that the table never fills, so
+  // every rep measures the same pure FindOrInsert loop. --probe_fill_div
+  // picks the operating point: k_groups = max_fill / div, so div=4 (the
+  // default) probes mostly chain length 1 while div=1 drives the table to
+  // its fill cap, where chains are long and the vector kernels matter.
+  cea::StateLayout layout(std::vector<cea::AggregateSpec>{});
+  const size_t table_bytes = flags.GetUint("table_bytes", size_t{1} << 21);
+  const uint64_t fill_div = flags.GetUint("probe_fill_div", 4);
+  std::vector<uint64_t> group_keys(n);
+  {
+    cea::BlockedOpenHashTable probe_sizer(table_bytes, layout);
+    const uint64_t k_groups =
+        probe_sizer.max_fill_slots() / (fill_div > 0 ? fill_div : 1);
+    for (auto& k : group_keys) k = rng.NextBounded(k_groups);
+  }
+  std::vector<uint64_t> group_hashes(n);
+  cea::simd::OpsForTier(cea::simd::DispatchTier::kScalar)
+      .hash_batch(group_keys.data(), n, group_hashes.data());
+
+  cea::bench::BenchReporter reporter("micro_primitives", flags);
+  if (!reporter.enabled()) {
+    std::printf("# SIMD-tier primitives (n = 2^%llu, %d reps)\n",
+                (unsigned long long)log_n, reps);
+    std::printf("%-12s %-8s %14s %14s\n", "primitive", "tier", "ns/elem",
+                "vs scalar");
+  }
+
+  ScalarBaseline scalar;
+  auto emit = [&](const char* primitive, const char* tier_name,
+                  const cea::bench::TimingStats& timing, double scalar_s,
+                  double gib_per_s) {
+    const double ns_per_elem =
+        timing.median_s / static_cast<double>(n) * 1e9;
+    const double speedup =
+        scalar_s > 0 && timing.median_s > 0 ? scalar_s / timing.median_s : 0;
+    if (reporter.enabled()) {
+      cea::bench::BenchRecord r;
+      r.Param("primitive", primitive)
+          .Param("simd_tier", tier_name)
+          .Param("log_n", log_n);
+      r.Metric("ns_per_elem", ns_per_elem);
+      r.Metric("melems_per_s", static_cast<double>(n) / timing.median_s / 1e6);
+      if (speedup > 0) r.Metric("speedup_vs_scalar", speedup);
+      if (gib_per_s > 0) r.Metric("gib_per_s", gib_per_s);
+      r.Timing(timing);
+      reporter.Emit(r);
+    } else if (speedup > 0) {
+      std::printf("%-12s %-8s %14.3f %13.2fx\n", primitive, tier_name,
+                  ns_per_elem, speedup);
+    } else {
+      std::printf("%-12s %-8s %14.3f %14s\n", primitive, tier_name,
+                  ns_per_elem, "-");
+    }
+  };
+
+  std::vector<uint64_t> out(n);
+  for (cea::simd::DispatchTier tier : tiers) {
+    cea::simd::ScopedTier scoped(tier);
+    const cea::simd::SimdOps& ops = cea::simd::OpsForTier(tier);
+    const bool is_scalar = tier == cea::simd::DispatchTier::kScalar;
+
+    // Hash finalization: the per-row MurmurHash64 of both routines.
+    cea::bench::TimingStats th = cea::bench::MeasureSeconds(reps, [&] {
+      ops.hash_batch(keys.data(), n, out.data());
+      cea::bench::DoNotOptimize(out[n - 1]);
+    });
+    if (is_scalar) scalar.hash_s = th.median_s;
+    emit("hash", ops.name, th, is_scalar ? 0 : scalar.hash_s, 0);
+
+    // Block probe + insert: the HASHING inner loop. The table captures the
+    // forced tier's kernel table at construction.
+    cea::BlockedOpenHashTable table(table_bytes, layout);
+    cea::bench::TimingStats tp = cea::bench::MeasureSeconds(reps, [&] {
+      table.Clear();
+      for (size_t i = 0; i < n; ++i) {
+        cea::bench::DoNotOptimize(
+            table.FindOrInsert(group_keys[i], group_hashes[i], 0));
+      }
+    });
+    if (is_scalar) scalar.probe_s = tp.median_s;
+    emit("probe_insert", ops.name, tp, is_scalar ? 0 : scalar.probe_s, 0);
+
+    // SWC scatter + NT-store line flush: the PARTITIONING write path.
+    cea::bench::TimingStats ts = cea::bench::MeasureSeconds(reps, [&] {
+      std::vector<cea::ChunkedArray> runs(cea::kFanOut);
+      cea::SwcWriter writer;
+      for (uint32_t p = 0; p < cea::kFanOut; ++p) writer.SetDest(p, &runs[p]);
+      for (size_t i = 0; i < n; ++i) {
+        writer.Append(cea::RadixDigit(hashes[i], 0), keys[i]);
+      }
+      writer.Flush();
+      cea::bench::DoNotOptimize(runs[0].size());
+    });
+    if (is_scalar) scalar.swc_s = ts.median_s;
+    emit("swc_flush", ops.name, ts, is_scalar ? 0 : scalar.swc_s,
+         cea::bench::BandwidthGiBs(n * sizeof(uint64_t), ts.median_s));
+  }
+  return 0;
+}

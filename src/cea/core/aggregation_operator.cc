@@ -6,6 +6,7 @@
 
 #include "cea/common/bits.h"
 #include "cea/common/check.h"
+#include "cea/simd/dispatch.h"
 
 namespace cea {
 
@@ -190,6 +191,7 @@ void AggregationOperator::CollectResult(ResultTable* result,
     stats->chunks_recycled =
         pool.recycled_chunks - pool_stats_base_.recycled_chunks;
     stats->mem_peak_bytes = MemoryBudget::Global().peak();
+    stats->simd_tier = static_cast<int>(simd::ActiveTier());
   }
   if (options_.obs != nullptr && options_.obs->counters_enabled()) {
     obs::PerfSample totals;

@@ -4,6 +4,7 @@
 
 #include "cea/common/check.h"
 #include "cea/hash/key_hash.h"
+#include "cea/simd/dispatch.h"
 #include "cea/table/growable_hash_table.h"
 
 namespace cea {
@@ -12,8 +13,8 @@ namespace cea {
 // (and ExecStatsToJson / FormatExecStats) silently drops telemetry when
 // per-worker stats are merged. Growing the struct trips this assert;
 // update Merge(), the JSON/text serializers, the stats tests, and then the
-// expected size. (LP64 layout: 12 u64 counters, padded int, double, u64,
-// then three per-level arrays.)
+// expected size. (LP64 layout: 12 u64 counters, two packed ints, double,
+// u64, then three per-level arrays.)
 #if defined(__x86_64__) || defined(__aarch64__)
 static_assert(sizeof(ExecStats) ==
                   15 * sizeof(uint64_t) +
@@ -36,6 +37,7 @@ void ExecStats::Merge(const ExecStats& other) {
   chunks_recycled += other.chunks_recycled;
   mem_peak_bytes = std::max(mem_peak_bytes, other.mem_peak_bytes);
   max_level = std::max(max_level, other.max_level);
+  simd_tier = std::max(simd_tier, other.simd_tier);
   sum_alpha += other.sum_alpha;
   num_alpha += other.num_alpha;
   for (size_t l = 0; l < rows_hashed_at_level.size(); ++l) {
@@ -98,13 +100,15 @@ bool PassContext::InsertKeys(const Morsel& m, size_t from, size_t n,
 
   if (kw == 1) {
     // Hot path: single 64-bit keys, out-of-order blocks of 16
-    // (Section 4.2) — hash a block first, then insert, so the hash
-    // computations overlap the table-probe loads.
+    // (Section 4.2) — hash a block first (8-wide under the active SIMD
+    // tier), then insert, so the hash computations overlap the
+    // table-probe loads.
+    const simd::SimdOps& ops = simd::ActiveOps();
     const uint64_t* keys = m.key_cols[0] + from;
     size_t i = 0;
     while (i + 16 <= n) {
       uint64_t hashes[16];
-      for (int j = 0; j < 16; ++j) hashes[j] = MurmurHash64(keys[i + j]);
+      ops.hash_batch(keys + i, 16, hashes);
       for (int j = 0; j < 16; ++j) {
         uint32_t s = table.FindOrInsert(keys[i + j], hashes[j], level_);
         if (s == BlockedOpenHashTable::kFull) {
@@ -115,13 +119,17 @@ bool PassContext::InsertKeys(const Morsel& m, size_t from, size_t n,
       }
       i += 16;
     }
-    for (; i < n; ++i) {
-      uint32_t s = table.FindOrInsert(keys[i], MurmurHash64(keys[i]), level_);
-      if (s == BlockedOpenHashTable::kFull) {
-        *consumed = i;
-        return true;
+    if (i < n) {
+      uint64_t hashes[16];
+      ops.hash_batch(keys + i, n - i, hashes);
+      for (size_t j = 0; i < n; ++i, ++j) {
+        uint32_t s = table.FindOrInsert(keys[i], hashes[j], level_);
+        if (s == BlockedOpenHashTable::kFull) {
+          *consumed = i;
+          return true;
+        }
+        slots[from + i] = s;
       }
-      slots[from + i] = s;
     }
     *consumed = n;
     return false;
@@ -226,12 +234,21 @@ void PassContext::PartitionRange(const Morsel& m, size_t from, size_t to) {
   {
     SwcWriter& kw0 = res_.key_writer(0);
     if (kw == 1) {
+      // Batch-hash a stretch under the active SIMD tier, then scatter;
+      // the buffer is small enough to stay L1-resident next to the SWC
+      // lines.
+      const simd::SimdOps& ops = simd::ActiveOps();
+      constexpr size_t kHashBatch = 256;
+      uint64_t hashes[kHashBatch];
       const uint64_t* keys = m.key_cols[0] + from;
-      for (size_t i = 0; i < len; ++i) {
-        uint64_t h = MurmurHash64(keys[i]);
-        uint32_t d = RadixDigit(h, level_);
-        dests[i] = static_cast<uint8_t>(d);
-        kw0.Append(d, keys[i]);
+      for (size_t done = 0; done < len; done += kHashBatch) {
+        const size_t batch = std::min(kHashBatch, len - done);
+        ops.hash_batch(keys + done, batch, hashes);
+        for (size_t i = 0; i < batch; ++i) {
+          uint32_t d = RadixDigit(hashes[i], level_);
+          dests[done + i] = static_cast<uint8_t>(d);
+          kw0.Append(d, keys[done + i]);
+        }
       }
     } else {
       uint64_t key[kMaxKeyWords];

@@ -68,6 +68,10 @@ struct ExecStats {
   uint64_t chunks_recycled = 0;
   uint64_t mem_peak_bytes = 0;
   int max_level = 0;
+  // Active SIMD dispatch tier of the execution (simd::DispatchTier as an
+  // int; stats_io renders the name). Merged as max: tiers are ordered by
+  // width and one execution runs under one tier.
+  int simd_tier = 0;
 
   double sum_alpha = 0;
   uint64_t num_alpha = 0;

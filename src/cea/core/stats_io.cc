@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "cea/obs/json_writer.h"
+#include "cea/simd/dispatch.h"
 
 namespace cea {
 namespace {
@@ -49,6 +50,8 @@ std::string FormatExecStats(const ExecStats& stats) {
           " recycled, peak %.1f MiB\n",
           stats.chunks_allocated, stats.chunks_recycled,
           static_cast<double>(stats.mem_peak_bytes) / (1024.0 * 1024.0));
+  Appendf(&out, "simd tier: %s\n",
+          simd::TierName(static_cast<simd::DispatchTier>(stats.simd_tier)));
   Appendf(&out, "levels (rows hashed / partitioned / cpu-seconds):\n");
   for (int l = 0; l <= stats.max_level &&
                   l < static_cast<int>(stats.rows_hashed_at_level.size());
@@ -76,6 +79,8 @@ std::string ExecStatsToJson(const ExecStats& stats) {
   w.Key("chunks_recycled").Uint(stats.chunks_recycled);
   w.Key("mem_peak_bytes").Uint(stats.mem_peak_bytes);
   w.Key("max_level").Int(stats.max_level);
+  w.Key("simd_tier")
+      .String(simd::TierName(static_cast<simd::DispatchTier>(stats.simd_tier)));
   w.Key("sum_alpha").Double(stats.sum_alpha);
   w.Key("num_alpha").Uint(stats.num_alpha);
   w.Key("mean_alpha").Double(stats.mean_alpha());

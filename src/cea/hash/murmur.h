@@ -58,6 +58,26 @@ inline uint64_t Fmix64Inverse(uint64_t k) {
   return k;
 }
 
+// Inverse of MurmurHash64 for single-word keys: returns the key whose
+// hash is h (for the given seed). MurmurHash64 is a bijection on 64-bit
+// keys — both multiplies are by an odd constant and x ^= x >> 47 is an
+// involution — so tests can construct keys that land on any chosen hash
+// value (block digit + in-block start slot) exactly.
+inline uint64_t MurmurHash64Inverse(uint64_t h, uint64_t seed = 0) {
+  const uint64_t m = 0xc6a4a7935bd1e995ULL;
+  const uint64_t m_inv = 0x5f7a0ea7e59b19bdULL;  // m * m_inv == 1 mod 2^64
+  const int r = 47;
+  h ^= h >> r;
+  h *= m_inv;
+  h ^= h >> r;
+  h *= m_inv;
+  h ^= seed ^ (8 * m);  // h is now k = ((key * m) ^ ((key * m) >> r)) * m
+  h *= m_inv;
+  h ^= h >> r;
+  h *= m_inv;
+  return h;
+}
+
 // Fibonacci/multiplicative hashing: the cheap hash the competitor
 // implementations originally used (Section 6.4).
 inline uint64_t MultiplicativeHash(uint64_t key) {

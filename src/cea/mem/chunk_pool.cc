@@ -7,6 +7,7 @@
 #include <sys/mman.h>
 #endif
 
+#include "cea/common/check.h"
 #include "cea/common/machine.h"
 
 namespace cea {
@@ -102,6 +103,10 @@ void ChunkPool::RefillFromShard(int k, size_t want,
 }
 
 uint64_t* ChunkPool::CarveFresh(size_t bytes) {
+  // Every carve is rounded up to a whole number of cache lines so the bump
+  // pointer never leaves 64-byte alignment — the NT-store flush path
+  // (simd stream_lines via ChunkedArray::AppendLine) requires it.
+  bytes = (bytes + kCacheLineBytes - 1) & ~(kCacheLineBytes - 1);
   std::lock_guard<std::mutex> lock(slab_mutex_);
   if (static_cast<size_t>(bump_end_ - bump_next_) < bytes) {
     // The slab tail (< one max-class block) is abandoned; at 64 KiB of
@@ -128,6 +133,8 @@ uint64_t* ChunkPool::CarveFresh(size_t bytes) {
   }
   uint64_t* block = reinterpret_cast<uint64_t*>(bump_next_);
   bump_next_ += bytes;
+  CEA_DCHECK((reinterpret_cast<uintptr_t>(block) & (kCacheLineBytes - 1)) ==
+             0);
   return block;
 }
 

@@ -58,6 +58,9 @@ void ChunkedArray::AddChunk(size_t min_capacity) {
   // budget throws MemoryBudgetExceeded, which the scheduler's error path
   // surfaces as a Status instead of crashing mid-pass.
   uint64_t* mem = ChunkPool::Global().Allocate(capacity);
+  // AppendLine NT-stores whole cache lines at the chunk base; the pool
+  // guarantees line alignment for every class including oversize.
+  CEA_DCHECK((reinterpret_cast<uintptr_t>(mem) & (kCacheLineBytes - 1)) == 0);
   chunks_.push_back(Chunk{mem, capacity});
   tail_ = mem;
   tail_left_ = capacity;

@@ -79,9 +79,14 @@ class SwcWriter {
   }
 
  private:
+  // Line flushes go through the dispatched stream_lines kernel, which
+  // moves exactly one cache line per call; the buffer line must be that
+  // line, no more and no less.
   struct alignas(kCacheLineBytes) Line {
     uint64_t v[ChunkedArray::kLineElems];
   };
+  static_assert(sizeof(Line) == kCacheLineBytes,
+                "SWC lines must be exactly one cache line");
 
   std::unique_ptr<Line[]> lines_;
   std::array<uint8_t, kFanOut> counts_;

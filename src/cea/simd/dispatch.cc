@@ -1,0 +1,210 @@
+#include "cea/simd/dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "cea/common/check.h"
+#include "cea/hash/murmur.h"
+#include "cea/mem/stream_store.h"
+#include "cea/simd/kernels_internal.h"
+
+namespace cea::simd {
+
+namespace internal {
+
+void HashBatchScalar(const uint64_t* keys, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = MurmurHash64(keys[i]);
+}
+
+ProbeResult ProbeBlockScalar(const uint64_t* slot_keys,
+                             const uint64_t* occupied, uint32_t base,
+                             uint32_t mask, uint32_t start, uint64_t key) {
+  uint32_t i = start;
+  do {
+    uint32_t slot = base + i;
+    if (((occupied[slot >> 6] >> (slot & 63)) & 1) == 0) {
+      return {i, ProbeResult::kEmpty};
+    }
+    if (slot_keys[slot] == key) return {i, ProbeResult::kMatch};
+    i = (i + 1) & mask;
+  } while (i != start);
+  return {0, ProbeResult::kBlockFull};
+}
+
+}  // namespace internal
+
+namespace {
+
+// The scalar flush is the pre-dispatch behavior: StreamStoreLine resolves
+// at compile time to the best baseline-ISA non-temporal store (SSE2 on the
+// portable x86-64 build), so the scalar tier is the reference the wider
+// tiers must match byte for byte.
+void StreamLinesScalar(void* dst, const void* src, size_t n_lines) {
+  auto* d = static_cast<unsigned char*>(dst);
+  const auto* s = static_cast<const unsigned char*>(src);
+  for (size_t i = 0; i < n_lines; ++i) {
+    StreamStoreLine(d + i * kCacheLineBytes, s + i * kCacheLineBytes);
+  }
+}
+
+const SimdOps kScalarOps = {
+    DispatchTier::kScalar,
+    "scalar",
+    internal::HashBatchScalar,
+    internal::ProbeBlockScalar,
+    StreamLinesScalar,
+};
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx512() {
+#if defined(__x86_64__)
+  // The probe kernel needs AVX-512F (masked loads/compares); the hash
+  // kernel additionally needs AVX-512DQ for VPMULLQ.
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq");
+#else
+  return false;
+#endif
+}
+
+std::atomic<const SimdOps*> g_active{nullptr};
+
+const SimdOps* ResolveDefault() {
+  DispatchTier tier = BestSupportedTier();
+  const char* env = std::getenv("CEA_SIMD_TIER");
+  if (env != nullptr && env[0] != '\0') {
+    DispatchTier wanted;
+    if (!ParseTier(env, &wanted)) {
+      std::fprintf(stderr,
+                   "warning: CEA_SIMD_TIER=%s is not a tier name "
+                   "(scalar, avx2, avx512); using %s\n",
+                   env, TierName(tier));
+    } else if (!TierSupported(wanted)) {
+      std::fprintf(stderr,
+                   "warning: CEA_SIMD_TIER=%s is not supported on this "
+                   "CPU/build; using %s\n",
+                   env, TierName(tier));
+    } else {
+      tier = wanted;
+    }
+  }
+  return &OpsForTier(tier);
+}
+
+}  // namespace
+
+DispatchTier BestSupportedTier() {
+#if defined(CEA_HAVE_AVX512_KERNELS)
+  if (CpuHasAvx512()) return DispatchTier::kAVX512;
+#endif
+#if defined(CEA_HAVE_AVX2_KERNELS)
+  if (CpuHasAvx2()) return DispatchTier::kAVX2;
+#endif
+  return DispatchTier::kScalar;
+}
+
+bool TierSupported(DispatchTier tier) {
+  switch (tier) {
+    case DispatchTier::kScalar:
+      return true;
+    case DispatchTier::kAVX2:
+#if defined(CEA_HAVE_AVX2_KERNELS)
+      return CpuHasAvx2();
+#else
+      return false;
+#endif
+    case DispatchTier::kAVX512:
+#if defined(CEA_HAVE_AVX512_KERNELS)
+      return CpuHasAvx512();
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const SimdOps& OpsForTier(DispatchTier tier) {
+  CEA_CHECK_MSG(TierSupported(tier), "SIMD tier not supported on this host");
+  switch (tier) {
+    case DispatchTier::kScalar:
+      return kScalarOps;
+    case DispatchTier::kAVX2:
+#if defined(CEA_HAVE_AVX2_KERNELS)
+      return internal::Avx2Ops();
+#else
+      break;
+#endif
+    case DispatchTier::kAVX512:
+#if defined(CEA_HAVE_AVX512_KERNELS)
+      return internal::Avx512Ops();
+#else
+      break;
+#endif
+  }
+  return kScalarOps;  // unreachable: TierSupported gated above
+}
+
+const SimdOps& ActiveOps() {
+  const SimdOps* ops = g_active.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    // First use (possibly racing): every thread resolves the same default,
+    // so losing the exchange is harmless.
+    ops = ResolveDefault();
+    const SimdOps* expected = nullptr;
+    if (!g_active.compare_exchange_strong(expected, ops,
+                                          std::memory_order_acq_rel)) {
+      ops = expected;
+    }
+  }
+  return *ops;
+}
+
+DispatchTier ActiveTier() { return ActiveOps().tier; }
+
+bool SetTier(DispatchTier tier) {
+  if (!TierSupported(tier)) return false;
+  g_active.store(&OpsForTier(tier), std::memory_order_release);
+  return true;
+}
+
+const char* TierName(DispatchTier tier) {
+  switch (tier) {
+    case DispatchTier::kScalar:
+      return "scalar";
+    case DispatchTier::kAVX2:
+      return "avx2";
+    case DispatchTier::kAVX512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseTier(const std::string& name, DispatchTier* out) {
+  if (name == "scalar") {
+    *out = DispatchTier::kScalar;
+  } else if (name == "avx2") {
+    *out = DispatchTier::kAVX2;
+  } else if (name == "avx512") {
+    *out = DispatchTier::kAVX512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ScopedTier::ScopedTier(DispatchTier tier) : previous_(ActiveTier()) {
+  CEA_CHECK_MSG(SetTier(tier), "ScopedTier: tier not supported");
+}
+
+ScopedTier::~ScopedTier() { SetTier(previous_); }
+
+}  // namespace cea::simd

@@ -1,0 +1,125 @@
+// Runtime-dispatched SIMD kernels for the operator's hot loops.
+//
+// The paper's Section 4 hardware tuning predates wide SIMD; on modern
+// cores the per-row compute of the HASHING and PARTITIONING inner loops
+// (hash, probe, SWC flush) is a large share of the cycle budget. This
+// module vectorizes exactly those three primitives behind one
+// function-pointer table per *tier*:
+//
+//   kScalar  — portable reference implementations (always available).
+//   kAVX2    — 4-wide AVX2 kernels (64-bit multiply emulated).
+//   kAVX512  — 8-wide AVX-512F/DQ kernels (VPMULLQ, masked loads).
+//
+// The tier is selected once at startup via CPUID, overridable with the
+// CEA_SIMD_TIER environment variable ("scalar", "avx2", "avx512") and the
+// --simd_tier flag of cea_query and the benches. Correctness is defined
+// as bit-exact equivalence with the scalar tier: every kernel computes
+// the same values, claims the same slots and writes the same bytes, so
+// any tier mix is observationally identical (simd_dispatch_test enforces
+// this on every tier the host supports).
+//
+// AVX2/AVX-512 kernels live in separate translation units compiled with
+// the matching -m flags (the rest of the library keeps the baseline
+// ISA), so a binary built on any x86-64 machine runs everywhere and
+// lights up the wide paths only where CPUID says they exist.
+
+#ifndef CEA_SIMD_DISPATCH_H_
+#define CEA_SIMD_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cea::simd {
+
+enum class DispatchTier : int {
+  kScalar = 0,
+  kAVX2 = 1,
+  kAVX512 = 2,
+};
+inline constexpr int kNumTiers = 3;
+
+// Outcome of probing one radix block for a key (single-word keys).
+// `pos` is the offset inside the block, in probe order from the hash's
+// start slot; the caller turns it into an absolute slot with `base + pos`.
+struct ProbeResult {
+  enum Kind : uint8_t {
+    kEmpty,      // pos is the first free slot of the probe sequence
+    kMatch,      // pos holds the key already
+    kBlockFull,  // the whole block is occupied by other keys
+  };
+  uint32_t pos = 0;
+  Kind kind = kBlockFull;
+};
+
+// One tier's kernel table. All kernels are pure functions; tiers differ
+// only in instruction selection, never in results.
+struct SimdOps {
+  DispatchTier tier;
+  const char* name;
+
+  // out[i] = MurmurHash64(keys[i]) for i in [0, n). Any alignment, any n
+  // (the vector kernels handle the n % width tail with scalar code).
+  void (*hash_batch)(const uint64_t* keys, size_t n, uint64_t* out);
+
+  // Linear probe of one radix block: slots base + ((start + k) & mask)
+  // for k = 0.., stopping at the first empty slot or key match, exactly
+  // like BlockedOpenHashTable's scalar loop. `slot_keys` is key word 0 of
+  // the table, `occupied` its occupancy bitmap; `mask` is block
+  // capacity - 1 and `start` is already reduced mod block capacity.
+  ProbeResult (*probe_block)(const uint64_t* slot_keys,
+                             const uint64_t* occupied, uint32_t base,
+                             uint32_t mask, uint32_t start, uint64_t key);
+
+  // Copies n_lines full cache lines from src (any alignment) to dst
+  // (must be kCacheLineBytes-aligned) with non-temporal stores when the
+  // ISA has them. No fence: callers publish with StreamFence() once per
+  // flush boundary (SwcWriter::Flush), not per line.
+  void (*stream_lines)(void* dst, const void* src, size_t n_lines);
+};
+
+// Best tier the host CPU supports (of the ones compiled in).
+DispatchTier BestSupportedTier();
+
+// True when the tier's kernels are compiled in and the CPU executes them.
+bool TierSupported(DispatchTier tier);
+
+// Kernel table of a supported tier. CHECK-fails on unsupported tiers —
+// call TierSupported first when the tier comes from user input.
+const SimdOps& OpsForTier(DispatchTier tier);
+
+// Process-wide active tier. First use resolves CEA_SIMD_TIER (falling
+// back to BestSupportedTier with a stderr warning when the value is
+// unknown or unsupported); SetTier overrides it at any point. Structures
+// that cache &ActiveOps() at construction (the hash table) keep the tier
+// they were built with.
+const SimdOps& ActiveOps();
+DispatchTier ActiveTier();
+
+// Forces the active tier. Returns false (and changes nothing) when the
+// tier is not supported on this host.
+bool SetTier(DispatchTier tier);
+
+// "scalar", "avx2", "avx512".
+const char* TierName(DispatchTier tier);
+
+// Parses a tier name (as accepted by CEA_SIMD_TIER / --simd_tier).
+// Returns false on unknown names.
+bool ParseTier(const std::string& name, DispatchTier* out);
+
+// RAII tier override for tests: forces `tier` on construction, restores
+// the previous tier on destruction. The tier must be supported.
+class ScopedTier {
+ public:
+  explicit ScopedTier(DispatchTier tier);
+  ~ScopedTier();
+  ScopedTier(const ScopedTier&) = delete;
+  ScopedTier& operator=(const ScopedTier&) = delete;
+
+ private:
+  DispatchTier previous_;
+};
+
+}  // namespace cea::simd
+
+#endif  // CEA_SIMD_DISPATCH_H_

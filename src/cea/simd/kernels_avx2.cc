@@ -1,0 +1,136 @@
+// AVX2 tier: 4-wide kernels. This translation unit is compiled with
+// -mavx2 while the rest of the library stays on the baseline ISA; it is
+// only entered after CPUID confirmed AVX2 (dispatch.cc).
+
+#include "cea/simd/kernels_internal.h"
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "cea/common/machine.h"
+#include "cea/hash/murmur.h"
+
+namespace cea::simd::internal {
+namespace {
+
+// 64-bit lane-wise multiply. AVX2 has no VPMULLQ; build the low 64 bits
+// from three 32x32->64 multiplies — exact mod 2^64, so the hash stays
+// bit-identical to scalar.
+inline __m256i MulLo64(__m256i a, __m256i b) {
+  __m256i lo = _mm256_mul_epu32(a, b);  // a_lo * b_lo (full 64 bits)
+  __m256i cross = _mm256_add_epi64(
+      _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)),   // a_lo * b_hi
+      _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b));  // a_hi * b_lo
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+void HashBatchAvx2(const uint64_t* keys, size_t n, uint64_t* out) {
+  constexpr uint64_t kM = 0xc6a4a7935bd1e995ULL;
+  const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(kM));
+  const __m256i vh0 = _mm256_set1_epi64x(static_cast<long long>(8 * kM));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i k = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    k = MulLo64(k, vm);
+    k = _mm256_xor_si256(k, _mm256_srli_epi64(k, 47));
+    k = MulLo64(k, vm);
+    __m256i h = _mm256_xor_si256(vh0, k);
+    h = MulLo64(h, vm);
+    h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 47));
+    h = MulLo64(h, vm);
+    h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 47));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), h);
+  }
+  if (i < n) HashBatchScalar(keys + i, n - i, out + i);
+}
+
+ProbeResult ProbeBlockAvx2(const uint64_t* slot_keys, const uint64_t* occupied,
+                           uint32_t base, uint32_t mask, uint32_t start,
+                           uint64_t key) {
+  const uint32_t cap = mask + 1;
+  if (cap < 4) {
+    // Tiny blocks (test configurations) are cheaper scalar and may share
+    // occupancy words in ways the windowed extraction below does not model.
+    return ProbeBlockScalar(slot_keys, occupied, base, mask, start, key);
+  }
+  // Short chains dominate below the fill cap — most probes end within a
+  // few slots (empty while the table fills, or an immediate match on a
+  // hot group), where AVX2's masked gather costs more than the whole
+  // scalar check. Probe the first slots scalar; vectorize only the long
+  // chains that continue past them.
+  uint32_t i = start;
+  uint32_t remaining = cap;
+  const uint32_t prefix = cap < 8 ? cap : 8;
+  for (uint32_t k = 0; k < prefix; ++k) {
+    const uint32_t slot = base + i;
+    if (((occupied[slot >> 6] >> (slot & 63)) & 1) == 0) {
+      return {i, ProbeResult::kEmpty};
+    }
+    if (slot_keys[slot] == key) return {i, ProbeResult::kMatch};
+    i = (i + 1) & mask;
+  }
+  remaining -= prefix;
+  if (remaining == 0) return {0, ProbeResult::kBlockFull};
+  const __m256i vkey = _mm256_set1_epi64x(static_cast<long long>(key));
+  const __m256i vbit = _mm256_set_epi64x(8, 4, 2, 1);
+  while (remaining != 0) {
+    // Window of up to 4 probe positions, clamped at the block end (the
+    // probe sequence wraps there) and at `start` on the second lap.
+    uint32_t take = cap - i < 4 ? cap - i : 4;
+    if (take > remaining) take = remaining;
+    const uint32_t slot = base + i;
+    const uint32_t w = slot >> 6;
+    const uint32_t off = slot & 63;
+    uint64_t occ_bits = occupied[w] >> off;
+    if (off + take > 64) occ_bits |= occupied[w + 1] << (64 - off);
+    const uint32_t lanes = take == 4 ? 0xfu : (1u << take) - 1u;
+    const uint32_t occ = static_cast<uint32_t>(occ_bits) & lanes;
+    const uint32_t empty = ~occ & lanes;
+    // Masked gather of the occupied lanes only; unoccupied slots hold
+    // stale keys that must not produce matches (scalar checks occupancy
+    // first), and masked-out lanes must not fault past the block tail.
+    __m256i vocc = _mm256_and_si256(
+        _mm256_set1_epi64x(static_cast<long long>(occ)), vbit);
+    vocc = _mm256_cmpeq_epi64(vocc, vbit);
+    const __m256i v = _mm256_maskload_epi64(
+        reinterpret_cast<const long long*>(slot_keys + slot), vocc);
+    const uint32_t eq =
+        static_cast<uint32_t>(_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, vkey)))) &
+        occ;
+    const uint32_t hit = eq | empty;
+    if (hit != 0) {
+      const uint32_t j = static_cast<uint32_t>(__builtin_ctz(hit));
+      return {i + j,
+              (empty >> j) & 1 ? ProbeResult::kEmpty : ProbeResult::kMatch};
+    }
+    i = (i + take) & mask;
+    remaining -= take;
+  }
+  return {0, ProbeResult::kBlockFull};
+}
+
+void StreamLinesAvx2(void* dst, const void* src, size_t n_lines) {
+  auto* d = static_cast<unsigned char*>(dst);
+  const auto* s = static_cast<const unsigned char*>(src);
+  for (size_t i = 0; i < n_lines; ++i) {
+    auto* dl = reinterpret_cast<__m256i*>(d + i * kCacheLineBytes);
+    const auto* sl = reinterpret_cast<const __m256i*>(s + i * kCacheLineBytes);
+    _mm256_stream_si256(dl, _mm256_loadu_si256(sl));
+    _mm256_stream_si256(dl + 1, _mm256_loadu_si256(sl + 1));
+  }
+}
+
+const SimdOps kAvx2Ops = {
+    DispatchTier::kAVX2, "avx2",       HashBatchAvx2,
+    ProbeBlockAvx2,      StreamLinesAvx2,
+};
+
+}  // namespace
+
+const SimdOps& Avx2Ops() { return kAvx2Ops; }
+
+}  // namespace cea::simd::internal
+
+#endif  // __x86_64__ && __AVX2__

@@ -1,0 +1,120 @@
+// AVX-512 tier: 8-wide kernels (AVX-512F + DQ). Compiled with the
+// matching -m flags in this translation unit only; entered after CPUID
+// confirmed both feature bits (dispatch.cc).
+
+#include "cea/simd/kernels_internal.h"
+
+#if defined(__x86_64__) && defined(__AVX512F__) && defined(__AVX512DQ__)
+
+// GCC's _mm512_srli_epi64 goes through _mm512_undefined_epi32, whose
+// deliberate "__Y = __Y" self-initialization trips -Wmaybe-uninitialized
+// (GCC bug 105593); every lane is overwritten before use.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+#include <immintrin.h>
+
+#include "cea/common/machine.h"
+#include "cea/hash/murmur.h"
+
+namespace cea::simd::internal {
+namespace {
+
+void HashBatchAvx512(const uint64_t* keys, size_t n, uint64_t* out) {
+  constexpr uint64_t kM = 0xc6a4a7935bd1e995ULL;
+  const __m512i vm = _mm512_set1_epi64(static_cast<long long>(kM));
+  const __m512i vh0 = _mm512_set1_epi64(static_cast<long long>(8 * kM));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i k = _mm512_loadu_si512(keys + i);
+    k = _mm512_mullo_epi64(k, vm);  // VPMULLQ (AVX-512DQ), exact mod 2^64
+    k = _mm512_xor_si512(k, _mm512_srli_epi64(k, 47));
+    k = _mm512_mullo_epi64(k, vm);
+    __m512i h = _mm512_xor_si512(vh0, k);
+    h = _mm512_mullo_epi64(h, vm);
+    h = _mm512_xor_si512(h, _mm512_srli_epi64(h, 47));
+    h = _mm512_mullo_epi64(h, vm);
+    h = _mm512_xor_si512(h, _mm512_srli_epi64(h, 47));
+    _mm512_storeu_si512(out + i, h);
+  }
+  if (i < n) HashBatchScalar(keys + i, n - i, out + i);
+}
+
+ProbeResult ProbeBlockAvx512(const uint64_t* slot_keys,
+                             const uint64_t* occupied, uint32_t base,
+                             uint32_t mask, uint32_t start, uint64_t key) {
+  const uint32_t cap = mask + 1;
+  if (cap < 8) {
+    return ProbeBlockScalar(slot_keys, occupied, base, mask, start, key);
+  }
+  // Short chains dominate below the fill cap — most probes end within a
+  // few slots (empty while the table fills, or an immediate match on a
+  // hot group), where a masked gather costs more than the whole scalar
+  // check. Probe the first few slots scalar; vectorize only the long
+  // chains that continue past them.
+  uint32_t i = start;
+  uint32_t remaining = cap;
+  const uint32_t prefix = 4;  // cap >= 8 here, so no wrap-around overlap
+  for (uint32_t k = 0; k < prefix; ++k) {
+    const uint32_t slot = base + i;
+    if (((occupied[slot >> 6] >> (slot & 63)) & 1) == 0) {
+      return {i, ProbeResult::kEmpty};
+    }
+    if (slot_keys[slot] == key) return {i, ProbeResult::kMatch};
+    i = (i + 1) & mask;
+  }
+  remaining -= prefix;
+  const __m512i vkey = _mm512_set1_epi64(static_cast<long long>(key));
+  while (remaining != 0) {
+    // Window of up to 8 probe positions, clamped at the block end (the
+    // probe sequence wraps there) and at `start` on the second lap.
+    uint32_t take = cap - i < 8 ? cap - i : 8;
+    if (take > remaining) take = remaining;
+    const uint32_t slot = base + i;
+    const uint32_t w = slot >> 6;
+    const uint32_t off = slot & 63;
+    uint64_t occ_bits = occupied[w] >> off;
+    if (off + take > 64) occ_bits |= occupied[w + 1] << (64 - off);
+    const __mmask8 lanes =
+        take == 8 ? static_cast<__mmask8>(0xff)
+                  : static_cast<__mmask8>((1u << take) - 1u);
+    const __mmask8 occ = static_cast<__mmask8>(occ_bits) & lanes;
+    const __mmask8 empty = static_cast<__mmask8>(~occ) & lanes;
+    // Load occupied lanes only: unoccupied slots hold stale keys that must
+    // not match (scalar checks occupancy first), and masked lanes never
+    // touch memory past the block tail.
+    const __m512i v = _mm512_maskz_loadu_epi64(occ, slot_keys + slot);
+    const __mmask8 eq = _mm512_mask_cmpeq_epi64_mask(occ, v, vkey);
+    const uint32_t hit = static_cast<uint32_t>(eq | empty);
+    if (hit != 0) {
+      const uint32_t j = static_cast<uint32_t>(__builtin_ctz(hit));
+      return {i + j, (static_cast<uint32_t>(empty) >> j) & 1
+                         ? ProbeResult::kEmpty
+                         : ProbeResult::kMatch};
+    }
+    i = (i + take) & mask;
+    remaining -= take;
+  }
+  return {0, ProbeResult::kBlockFull};
+}
+
+void StreamLinesAvx512(void* dst, const void* src, size_t n_lines) {
+  auto* d = static_cast<unsigned char*>(dst);
+  const auto* s = static_cast<const unsigned char*>(src);
+  for (size_t i = 0; i < n_lines; ++i) {
+    _mm512_stream_si512(reinterpret_cast<__m512i*>(d + i * kCacheLineBytes),
+                        _mm512_loadu_si512(s + i * kCacheLineBytes));
+  }
+}
+
+const SimdOps kAvx512Ops = {
+    DispatchTier::kAVX512, "avx512",        HashBatchAvx512,
+    ProbeBlockAvx512,      StreamLinesAvx512,
+};
+
+}  // namespace
+
+const SimdOps& Avx512Ops() { return kAvx512Ops; }
+
+}  // namespace cea::simd::internal
+
+#endif  // __x86_64__ && __AVX512F__ && __AVX512DQ__

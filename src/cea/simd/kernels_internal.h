@@ -1,0 +1,31 @@
+// Internal interface between the dispatch registry (dispatch.cc) and the
+// per-ISA kernel translation units. kernels_avx2.cc / kernels_avx512.cc
+// are only compiled (and these functions only defined) when the compiler
+// supports the matching -m flags; dispatch.cc gates the declarations on
+// the same CEA_HAVE_*_KERNELS macros CMake sets for both sides.
+
+#ifndef CEA_SIMD_KERNELS_INTERNAL_H_
+#define CEA_SIMD_KERNELS_INTERNAL_H_
+
+#include "cea/simd/dispatch.h"
+
+namespace cea::simd::internal {
+
+// Scalar reference kernels (dispatch.cc); the vector TUs reuse them for
+// sub-width blocks and tails so every edge case has exactly one
+// implementation.
+void HashBatchScalar(const uint64_t* keys, size_t n, uint64_t* out);
+ProbeResult ProbeBlockScalar(const uint64_t* slot_keys,
+                             const uint64_t* occupied, uint32_t base,
+                             uint32_t mask, uint32_t start, uint64_t key);
+
+#if defined(CEA_HAVE_AVX2_KERNELS)
+const SimdOps& Avx2Ops();
+#endif
+#if defined(CEA_HAVE_AVX512_KERNELS)
+const SimdOps& Avx512Ops();
+#endif
+
+}  // namespace cea::simd::internal
+
+#endif  // CEA_SIMD_KERNELS_INTERNAL_H_

@@ -48,6 +48,45 @@ TEST(ChunkPoolTest, AllocationIsCacheLineAligned) {
   }
 }
 
+TEST(ChunkPoolTest, EveryCarvedBlockStaysCacheLineAligned) {
+  // The NT-store flush path (ChunkedArray::AppendLine via the SIMD
+  // stream_lines kernels) requires 64-byte-aligned chunk bases. Mixed-class
+  // allocation sequences advance the slab bump pointer by varying amounts
+  // and cross at least one slab boundary here; every block handed out must
+  // still be line-aligned.
+  ChunkPool& pool = ChunkPool::Global();
+  const size_t classes[] = {512, 1024, 2048, 4096, 8192};
+  std::vector<std::pair<uint64_t*, size_t>> held;
+  // > 2 MiB (one slab) of fresh allocations, never freed in between so
+  // nothing is recycled and the bump pointer does all the work.
+  for (int round = 0; round < 100; ++round) {
+    size_t elems = classes[round % 5];
+    uint64_t* p = pool.Allocate(elems);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % kCacheLineBytes, 0u)
+        << "round " << round << " elems " << elems;
+    p[0] = 1;
+    p[elems - 1] = 2;
+    held.emplace_back(p, elems);
+  }
+  for (auto& [p, elems] : held) pool.Free(p, elems);
+}
+
+TEST(ChunkPoolTest, OddOversizeAllocationsAreCacheLineAligned) {
+  // Oversize (unpooled) capacities with sizes that are not multiples of a
+  // cache line still come back aligned and fully writable.
+  ChunkPool& pool = ChunkPool::Global();
+  for (size_t elems : {size_t{515}, size_t{8193}, size_t{12345}}) {
+    uint64_t* p = pool.Allocate(elems);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % kCacheLineBytes, 0u)
+        << "elems=" << elems;
+    p[0] = 1;
+    p[elems - 1] = 2;
+    pool.Free(p, elems);
+  }
+}
+
 TEST(ChunkPoolTest, FreedBlockIsRecycled) {
   ChunkPool& pool = ChunkPool::Global();
   uint64_t* first = pool.Allocate(1024);

@@ -62,6 +62,33 @@ TEST(Fmix, InverseRoundTrips) {
   }
 }
 
+TEST(Murmur, InverseRoundTrips) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t x = rng.Next();
+    EXPECT_EQ(MurmurHash64Inverse(MurmurHash64(x)), x);
+    EXPECT_EQ(MurmurHash64(MurmurHash64Inverse(x)), x);
+  }
+}
+
+TEST(Murmur, InverseRoundTripsWithSeed) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t x = rng.Next();
+    uint64_t seed = rng.Next();
+    EXPECT_EQ(MurmurHash64Inverse(MurmurHash64(x, seed), seed), x);
+  }
+}
+
+TEST(Murmur, InverseConstructsKeyForChosenHash) {
+  // The use case: tests steer keys into a chosen radix block and start
+  // slot by inverting the hash they want.
+  const uint64_t wanted_hash = (uint64_t{5} << 56) | 61;
+  uint64_t key = MurmurHash64Inverse(wanted_hash);
+  EXPECT_EQ(MurmurHash64(key), wanted_hash);
+  EXPECT_EQ(RadixDigit(wanted_hash, 0), 5u);
+}
+
 TEST(Radix, DigitExtractsBytesMsdFirst) {
   uint64_t h = 0x0123456789abcdefULL;
   EXPECT_EQ(RadixDigit(h, 0), 0x01u);

@@ -11,6 +11,7 @@
 #include "cea/core/routines.h"
 #include "cea/hash/murmur.h"
 #include "cea/hash/radix.h"
+#include "cea/simd/dispatch.h"
 
 namespace cea {
 
@@ -216,12 +217,13 @@ TEST(PartitioningRoutine, CountBecomesLiteralOne) {
 // capacity), so InsertKeys' mid-block and block-boundary exits can be
 // hit deterministically.
 std::unique_ptr<WorkerResources> ResourcesWithFillCap(
-    const StateLayout& layout, uint32_t target_fill) {
-  WorkerResources probe(1, layout, kTableBytes, 1 << 12);
+    const StateLayout& layout, uint32_t target_fill,
+    size_t table_bytes = kTableBytes) {
+  WorkerResources probe(1, layout, table_bytes, 1 << 12);
   uint32_t capacity = probe.table().capacity();
   double max_fill =
       (static_cast<double>(target_fill) + 0.5) / static_cast<double>(capacity);
-  auto res = std::make_unique<WorkerResources>(1, layout, kTableBytes,
+  auto res = std::make_unique<WorkerResources>(1, layout, table_bytes,
                                                size_t{1} << 12, max_fill);
   CEA_CHECK(res->table().max_fill_slots() == target_fill);
   return res;
@@ -300,6 +302,103 @@ TEST(InsertKeys, TableFillsAtExactBlockBoundary) {
   EXPECT_EQ(consumed, 1u);
   EXPECT_EQ(res->table().key_array()[res->slots()[0]], keys[7]);
   EXPECT_EQ(res->table().fill(), 112u);
+}
+
+// Returns the tiers supported on this host, for the per-tier probe tests.
+std::vector<simd::DispatchTier> SupportedTiers() {
+  std::vector<simd::DispatchTier> tiers;
+  for (simd::DispatchTier t :
+       {simd::DispatchTier::kScalar, simd::DispatchTier::kAVX2,
+        simd::DispatchTier::kAVX512}) {
+    if (simd::TierSupported(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+TEST(InsertKeys, ProbeWrapsThroughBlockBoundaryUnderEveryTier) {
+  // Keys crafted (via the Murmur inverse) to all start probing at slot 61
+  // of a 64-slot block: the probe sequence runs through the masked-lane
+  // tail 61,62,63 and wraps to 0,1,2. Every tier must claim exactly those
+  // slots in that order.
+  StateLayout layout({{AggFn::kCount, -1}});
+  auto policy = MakeHashingOnlyPolicy();
+
+  std::vector<uint64_t> keys;
+  for (uint64_t j = 0; j < 6; ++j) {
+    // Digit 5 at level 0, in-block start 61; j keeps the hashes distinct.
+    uint64_t hash = (uint64_t{5} << 56) | (j << 16) | 61;
+    uint64_t key = MurmurHash64Inverse(hash);
+    ASSERT_EQ(MurmurHash64(key), hash);
+    keys.push_back(key);
+  }
+
+  for (simd::DispatchTier tier : SupportedTiers()) {
+    SCOPED_TRACE(simd::TierName(tier));
+    simd::ScopedTier scoped(tier);
+    WorkerResources res(1, layout, size_t{1} << 19, size_t{1} << 12);
+    ASSERT_EQ(res.table().block_capacity(), 64u);
+    ExecStats stats;
+    PassContext ctx(layout, *policy, &res, 0, &stats);
+
+    Morsel m = RawMorsel(keys, {});
+    size_t consumed = 0;
+    EXPECT_FALSE(
+        PassContextTestPeer::InsertKeys(&ctx, m, 0, keys.size(), &consumed));
+    EXPECT_EQ(consumed, keys.size());
+
+    const uint32_t base = 5u * 64u;
+    const uint32_t expect_offsets[6] = {61, 62, 63, 0, 1, 2};
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_EQ(res.slots()[i], base + expect_offsets[i]) << "row " << i;
+      ASSERT_TRUE(res.table().TestOccupied(res.slots()[i]));
+      ASSERT_EQ(res.table().key_array()[res.slots()[i]], keys[i]);
+    }
+
+    // Re-inserting the same keys finds (not claims) the same slots.
+    consumed = 0;
+    EXPECT_FALSE(
+        PassContextTestPeer::InsertKeys(&ctx, m, 0, keys.size(), &consumed));
+    EXPECT_EQ(consumed, keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_EQ(res.slots()[i], base + expect_offsets[i]) << "row " << i;
+    }
+    EXPECT_EQ(res.table().fill(), keys.size());
+  }
+}
+
+TEST(InsertKeys, FillCapTripsMidWrapUnderEveryTier) {
+  // Same wrap-through-boundary sequence, but the fill cap allows only 4
+  // new keys: rows 0..3 claim 61,62,63,0 and row 4 reports the table full
+  // with consumed = 4, identically under every tier.
+  StateLayout layout({{AggFn::kCount, -1}});
+  auto policy = MakeHashingOnlyPolicy();
+
+  std::vector<uint64_t> keys;
+  for (uint64_t j = 0; j < 6; ++j) {
+    keys.push_back(MurmurHash64Inverse((uint64_t{5} << 56) | (j << 16) | 61));
+  }
+
+  for (simd::DispatchTier tier : SupportedTiers()) {
+    SCOPED_TRACE(simd::TierName(tier));
+    simd::ScopedTier scoped(tier);
+    auto res = ResourcesWithFillCap(layout, 4, size_t{1} << 19);
+    ASSERT_EQ(res->table().block_capacity(), 64u);
+    ExecStats stats;
+    PassContext ctx(layout, *policy, res.get(), 0, &stats);
+
+    Morsel m = RawMorsel(keys, {});
+    size_t consumed = 0;
+    EXPECT_TRUE(
+        PassContextTestPeer::InsertKeys(&ctx, m, 0, keys.size(), &consumed));
+    EXPECT_EQ(consumed, 4u);
+    EXPECT_EQ(res->table().fill(), 4u);
+
+    const uint32_t base = 5u * 64u;
+    const uint32_t expect_offsets[4] = {61, 62, 63, 0};
+    for (size_t i = 0; i < 4; ++i) {
+      ASSERT_EQ(res->slots()[i], base + expect_offsets[i]) << "row " << i;
+    }
+  }
 }
 
 TEST(AdaptiveRoutine, SwitchesToPartitioningOnLowAlpha) {

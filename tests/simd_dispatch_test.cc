@@ -1,0 +1,343 @@
+// Tests for cea/simd: tier registry/dispatch mechanics and bit-exact
+// equivalence of every host-supported tier with the scalar reference.
+//
+// The equivalence tests are the correctness contract of the SIMD layer:
+// for each kernel (hash_batch, probe_block, stream_lines) every tier must
+// produce the same values, claim the same slots and write the same bytes
+// as the scalar tier, over aligned and misaligned inputs, short tails
+// (n % width != 0), empty inputs and every block geometry the table uses.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cea/common/machine.h"
+#include "cea/common/random.h"
+#include "cea/hash/murmur.h"
+#include "cea/mem/stream_store.h"
+#include "cea/simd/dispatch.h"
+#include "cea/table/blocked_hash_table.h"
+
+namespace cea {
+namespace {
+
+using simd::DispatchTier;
+using simd::ProbeResult;
+using simd::SimdOps;
+
+std::vector<DispatchTier> SupportedTiers() {
+  std::vector<DispatchTier> tiers;
+  for (DispatchTier t :
+       {DispatchTier::kScalar, DispatchTier::kAVX2, DispatchTier::kAVX512}) {
+    if (simd::TierSupported(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+TEST(SimdRegistry, TierNamesRoundTrip) {
+  for (DispatchTier t :
+       {DispatchTier::kScalar, DispatchTier::kAVX2, DispatchTier::kAVX512}) {
+    DispatchTier parsed;
+    ASSERT_TRUE(simd::ParseTier(simd::TierName(t), &parsed));
+    EXPECT_EQ(parsed, t);
+  }
+  DispatchTier unused;
+  EXPECT_FALSE(simd::ParseTier("", &unused));
+  EXPECT_FALSE(simd::ParseTier("sse2", &unused));
+  EXPECT_FALSE(simd::ParseTier("AVX2", &unused));  // names are lowercase
+}
+
+TEST(SimdRegistry, ScalarAlwaysSupported) {
+  EXPECT_TRUE(simd::TierSupported(DispatchTier::kScalar));
+  // The best tier must itself be supported and at least scalar.
+  DispatchTier best = simd::BestSupportedTier();
+  EXPECT_TRUE(simd::TierSupported(best));
+  EXPECT_GE(static_cast<int>(best), static_cast<int>(DispatchTier::kScalar));
+}
+
+TEST(SimdRegistry, OpsForTierMatchesRequest) {
+  for (DispatchTier t : SupportedTiers()) {
+    const SimdOps& ops = simd::OpsForTier(t);
+    EXPECT_EQ(ops.tier, t);
+    EXPECT_STREQ(ops.name, simd::TierName(t));
+    EXPECT_NE(ops.hash_batch, nullptr);
+    EXPECT_NE(ops.probe_block, nullptr);
+    EXPECT_NE(ops.stream_lines, nullptr);
+  }
+}
+
+TEST(SimdRegistry, SetTierSwitchesActiveOps) {
+  DispatchTier original = simd::ActiveTier();
+  for (DispatchTier t : SupportedTiers()) {
+    ASSERT_TRUE(simd::SetTier(t));
+    EXPECT_EQ(simd::ActiveTier(), t);
+    EXPECT_EQ(simd::ActiveOps().tier, t);
+  }
+  ASSERT_TRUE(simd::SetTier(original));
+}
+
+TEST(SimdRegistry, SetTierRejectsUnsupported) {
+  DispatchTier original = simd::ActiveTier();
+  for (DispatchTier t : {DispatchTier::kAVX2, DispatchTier::kAVX512}) {
+    if (simd::TierSupported(t)) continue;
+    EXPECT_FALSE(simd::SetTier(t));
+    EXPECT_EQ(simd::ActiveTier(), original);
+  }
+}
+
+TEST(SimdRegistry, ScopedTierRestoresPrevious) {
+  DispatchTier original = simd::ActiveTier();
+  for (DispatchTier t : SupportedTiers()) {
+    {
+      simd::ScopedTier scoped(t);
+      EXPECT_EQ(simd::ActiveTier(), t);
+    }
+    EXPECT_EQ(simd::ActiveTier(), original);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// hash_batch equivalence.
+
+class SimdEquivalence : public ::testing::TestWithParam<DispatchTier> {
+ protected:
+  const SimdOps& ops() const { return simd::OpsForTier(GetParam()); }
+  const SimdOps& scalar() const {
+    return simd::OpsForTier(DispatchTier::kScalar);
+  }
+};
+
+TEST_P(SimdEquivalence, HashBatchMatchesScalarAllLengths) {
+  Rng rng(1);
+  // Covers empty input, every tail residue of both vector widths (4, 8)
+  // and a couple of large blocks.
+  for (size_t n : {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 63, 64, 65,
+                   1000, 1001, 1024}) {
+    std::vector<uint64_t> keys(n);
+    for (auto& k : keys) k = rng.Next();
+    std::vector<uint64_t> expect(n), got(n, 0xdeadbeefULL);
+    scalar().hash_batch(keys.data(), n, expect.data());
+    ops().hash_batch(keys.data(), n, got.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got[i], expect[i]) << "n=" << n << " i=" << i;
+      ASSERT_EQ(got[i], MurmurHash64(keys[i]));
+    }
+  }
+}
+
+TEST_P(SimdEquivalence, HashBatchHandlesVectorMisalignment) {
+  // uint64_t buffers are 8-byte aligned but generally not 32/64-byte
+  // aligned; the kernels use unaligned loads/stores, so any element
+  // offset must work.
+  Rng rng(2);
+  constexpr size_t kN = 257;
+  std::vector<uint64_t> keys(kN + 8), out(kN + 8), expect(kN);
+  for (auto& k : keys) k = rng.Next();
+  for (size_t src_off : {0, 1, 2, 3}) {
+    for (size_t dst_off : {0, 1, 3}) {
+      scalar().hash_batch(keys.data() + src_off, kN, expect.data());
+      ops().hash_batch(keys.data() + src_off, kN, out.data() + dst_off);
+      for (size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(out[dst_off + i], expect[i])
+            << "src_off=" << src_off << " dst_off=" << dst_off << " i=" << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// probe_block equivalence over synthetic blocks.
+
+struct ProbeFixture {
+  std::vector<uint64_t> slot_keys;
+  std::vector<uint64_t> occupied;
+  uint32_t capacity;
+  uint32_t cap;  // slots per block
+
+  ProbeFixture(uint32_t block_cap, uint32_t num_blocks, double fill,
+               Rng* rng)
+      : capacity(block_cap * num_blocks), cap(block_cap) {
+    slot_keys.resize(capacity);
+    occupied.assign((capacity + 63) / 64, 0);
+    for (uint32_t s = 0; s < capacity; ++s) {
+      // Stale keys everywhere: unoccupied slots keep a (random) key the
+      // kernels must never match against.
+      slot_keys[s] = rng->Next();
+      if (rng->NextBounded(1000) < static_cast<uint64_t>(fill * 1000)) {
+        occupied[s >> 6] |= uint64_t{1} << (s & 63);
+      }
+    }
+  }
+
+  bool IsOccupied(uint32_t slot) const {
+    return (occupied[slot >> 6] >> (slot & 63)) & 1;
+  }
+};
+
+void ExpectSameProbe(const SimdOps& scalar, const SimdOps& tier,
+                     const ProbeFixture& f, uint32_t base, uint32_t start,
+                     uint64_t key) {
+  ProbeResult expect = scalar.probe_block(f.slot_keys.data(),
+                                          f.occupied.data(), base,
+                                          f.cap - 1, start, key);
+  ProbeResult got = tier.probe_block(f.slot_keys.data(), f.occupied.data(),
+                                     base, f.cap - 1, start, key);
+  ASSERT_EQ(got.kind, expect.kind)
+      << "cap=" << f.cap << " base=" << base << " start=" << start;
+  if (expect.kind != ProbeResult::kBlockFull) {
+    ASSERT_EQ(got.pos, expect.pos)
+        << "cap=" << f.cap << " base=" << base << " start=" << start;
+  }
+}
+
+TEST_P(SimdEquivalence, ProbeBlockMatchesScalar) {
+  Rng rng(3);
+  for (uint32_t cap : {2u, 4u, 8u, 64u, 256u}) {
+    for (double fill : {0.0, 0.25, 0.6, 1.0}) {
+      ProbeFixture f(cap, 4, fill, &rng);
+      for (uint32_t block = 0; block < 4; ++block) {
+        const uint32_t base = block * cap;
+        for (uint32_t start :
+             {0u, 1u, cap / 2, cap - 2 < cap ? cap - 2 : 0u, cap - 1}) {
+          if (start >= cap) continue;
+          // Absent key, a key occupying some slot of this block, and the
+          // stale key stored at the start slot itself (must not match
+          // when that slot is unoccupied).
+          ExpectSameProbe(scalar(), ops(), f, base, start, rng.Next());
+          ExpectSameProbe(scalar(), ops(), f, base, start,
+                          f.slot_keys[base + rng.NextBounded(cap)]);
+          ExpectSameProbe(scalar(), ops(), f, base, start,
+                          f.slot_keys[base + start]);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SimdEquivalence, ProbeBlockFullBlockReportsFull) {
+  Rng rng(4);
+  for (uint32_t cap : {4u, 8u, 64u, 256u}) {
+    ProbeFixture f(cap, 2, 1.0, &rng);
+    // Occupied everywhere and the key nowhere: every start must report
+    // kBlockFull after one full wrap, on both blocks.
+    for (uint32_t base : {0u, cap}) {
+      for (uint32_t start : {0u, 1u, cap - 1}) {
+        ProbeResult r = ops().probe_block(f.slot_keys.data(),
+                                          f.occupied.data(), base, cap - 1,
+                                          start, uint64_t{0xf00dULL});
+        // The fixture's random slot keys never equal 0xf00d (2^-64 * 512
+        // chance aside — rng is deterministic, so this is stable).
+        ASSERT_EQ(r.kind, ProbeResult::kBlockFull);
+        ExpectSameProbe(scalar(), ops(), f, base, start, 0xf00dULL);
+      }
+    }
+  }
+}
+
+TEST_P(SimdEquivalence, ProbeBlockWrapsThroughMaskedTail) {
+  // Start near the block end so the probe window is clamped (the masked
+  // tail) and wraps to the block head: occupancy 61..63 set, key absent,
+  // first free slot is offset 0 after the wrap.
+  Rng rng(5);
+  ProbeFixture f(64, 4, 0.0, &rng);
+  const uint32_t base = 2 * 64;
+  for (uint32_t s : {61u, 62u, 63u}) {
+    f.occupied[(base + s) >> 6] |= uint64_t{1} << ((base + s) & 63);
+  }
+  for (uint32_t start : {61u, 62u, 63u}) {
+    ProbeResult r = ops().probe_block(f.slot_keys.data(), f.occupied.data(),
+                                      base, 63, start, uint64_t{1234567});
+    ASSERT_EQ(r.kind, ProbeResult::kEmpty);
+    ASSERT_EQ(r.pos, 0u);
+    ExpectSameProbe(scalar(), ops(), f, base, start, 1234567);
+    // And the occupied tail keys themselves must be found, wrapping or not.
+    ExpectSameProbe(scalar(), ops(), f, base, start,
+                    f.slot_keys[base + 63]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// stream_lines equivalence.
+
+TEST_P(SimdEquivalence, StreamLinesCopiesExactBytes) {
+  Rng rng(6);
+  for (size_t n_lines : {0, 1, 2, 3, 7, 17}) {
+    const size_t bytes = n_lines * kCacheLineBytes;
+    // Destination must be line-aligned (kernel contract); one canary line
+    // on each side catches overwrites.
+    const size_t alloc = bytes + 2 * kCacheLineBytes;
+    auto* dst = static_cast<unsigned char*>(
+        std::aligned_alloc(kCacheLineBytes, alloc));
+    ASSERT_NE(dst, nullptr);
+    std::memset(dst, 0xab, alloc);
+    // Source may be arbitrarily (byte-)misaligned.
+    std::vector<unsigned char> src_buf(bytes + 3);
+    for (auto& b : src_buf) b = static_cast<unsigned char>(rng.Next());
+    for (size_t src_off : {0, 3}) {
+      std::memset(dst, 0xab, alloc);
+      ops().stream_lines(dst + kCacheLineBytes, src_buf.data() + src_off,
+                         n_lines);
+      StreamFence();
+      ASSERT_EQ(std::memcmp(dst + kCacheLineBytes, src_buf.data() + src_off,
+                            bytes),
+                0)
+          << "n_lines=" << n_lines << " src_off=" << src_off;
+      for (size_t i = 0; i < kCacheLineBytes; ++i) {
+        ASSERT_EQ(dst[i], 0xab) << "leading canary, i=" << i;
+        ASSERT_EQ(dst[kCacheLineBytes + bytes + i], 0xab)
+            << "trailing canary, i=" << i;
+      }
+    }
+    std::free(dst);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Integration: the hash table claims identical slots under every tier.
+
+TEST_P(SimdEquivalence, HashTableSlotSequenceMatchesScalar) {
+  Rng rng(7);
+  constexpr size_t kN = 20000;
+  std::vector<uint64_t> keys(kN);
+  for (auto& k : keys) k = rng.NextBounded(3000);  // plenty of duplicates
+
+  auto run = [&](DispatchTier tier) {
+    simd::ScopedTier scoped(tier);
+    StateLayout layout{std::vector<AggregateSpec>{}};
+    BlockedOpenHashTable table(size_t{1} << 16, layout);
+    std::vector<uint32_t> slots;
+    slots.reserve(kN);
+    for (uint64_t k : keys) {
+      slots.push_back(table.FindOrInsert(k, MurmurHash64(k), 0));
+    }
+    return slots;
+  };
+
+  std::vector<uint32_t> expect = run(DispatchTier::kScalar);
+  std::vector<uint32_t> got = run(GetParam());
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    ASSERT_EQ(got[i], expect[i]) << "insert #" << i;
+  }
+  // Sanity: the tiny table does fill up in this sequence, so the kFull
+  // path (fill cap) is exercised under every tier too.
+  ASSERT_NE(std::count(expect.begin(), expect.end(),
+                       BlockedOpenHashTable::kFull),
+            0);
+}
+
+std::string TierParamName(
+    const ::testing::TestParamInfo<DispatchTier>& info) {
+  return simd::TierName(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSupportedTiers, SimdEquivalence,
+                         ::testing::ValuesIn(SupportedTiers()),
+                         TierParamName);
+
+}  // namespace
+}  // namespace cea

@@ -26,6 +26,10 @@
 //                                 Must be positive (omit for unlimited).
 //                                 --no_huge_pages disables the THP madvise
 //                                 on fresh pool slabs.
+//   --simd_tier=scalar|avx2|avx512
+//                                 force the SIMD kernel tier (default: best
+//                                 the CPU supports; the CEA_SIMD_TIER env
+//                                 var sets the same default, the flag wins)
 //   --csv [--csv_rows=N]          print result as CSV
 //   --stats                       print execution telemetry (text, stderr)
 //   --stats=json                  print telemetry as one JSON object on
@@ -46,6 +50,7 @@
 #include "cea/datagen/generators.h"
 #include "cea/obs/json_writer.h"
 #include "cea/obs/obs.h"
+#include "cea/simd/dispatch.h"
 
 namespace {
 
@@ -121,6 +126,27 @@ int main(int argc, char** argv) {
       !RequirePositive(flags, "deadline_ms") ||
       !RequirePositive(flags, "threads")) {
     return 2;
+  }
+
+  // SIMD tier override. Unlike the CEA_SIMD_TIER env default (which warns
+  // and falls back), an explicit flag that cannot be honored is an error.
+  if (flags.Has("simd_tier")) {
+    std::string tier_name = flags.GetString("simd_tier", "");
+    cea::simd::DispatchTier tier;
+    if (!cea::simd::ParseTier(tier_name, &tier)) {
+      std::fprintf(stderr,
+                   "usage error: --simd_tier=%s (must be scalar, avx2 or "
+                   "avx512)\n",
+                   tier_name.c_str());
+      return 2;
+    }
+    if (!cea::simd::SetTier(tier)) {
+      std::fprintf(stderr,
+                   "usage error: --simd_tier=%s is not supported on this "
+                   "CPU/build\n",
+                   tier_name.c_str());
+      return 2;
+    }
   }
 
   // Input keys.
