@@ -1,9 +1,17 @@
 // Concurrent-query benchmark: N client threads push aggregation queries of
 // mixed cardinalities through one QuerySession (shared scheduler, shared
 // chunk pool, shared memory budget) and report the end-to-end latency
-// distribution (p50/p95/p99, admission wait included), plus the turnaround
-// of cooperatively cancelled queries — the time from firing the token to
-// the operator returning kCancelled.
+// distribution (p50/p95/p99, admission wait included), the admission
+// queue-time distribution, plus the turnaround of cooperatively cancelled
+// queries — the time from firing the token to the operator returning
+// kCancelled.
+//
+// Percentiles come from per-client lock-free log-linear histograms
+// (obs::HistogramMetric) merged after the clients join — the same
+// mergeable-snapshot machinery the metric registry exposes on /metrics —
+// not from sorting a latency vector, so the bench measures the production
+// percentile path and scales to any query count without O(n log n)
+// post-processing.
 //
 // Usage: concurrent_queries [--log_n=20] [--queries=32] [--concurrency=8]
 //        [--threads=N] [--admission_mb=MB] [--cancel_every=8] [--reps=1]
@@ -13,6 +21,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -20,6 +29,7 @@
 #include "cea/core/aggregation_operator.h"
 #include "cea/datagen/generators.h"
 #include "cea/exec/query_session.h"
+#include "cea/obs/metrics.h"
 
 using namespace cea;         // NOLINT
 using namespace cea::bench;  // NOLINT
@@ -31,7 +41,6 @@ namespace {
 constexpr int kLogKs[] = {6, 10, 14, 18};
 
 struct QueryOutcome {
-  double latency_s = 0;     // Admit() entry to Execute() return
   double turnaround_s = 0;  // Cancel() fire to Execute() return (cancelled)
   enum class Kind { kOk, kCancelled, kRejected } kind = Kind::kOk;
 };
@@ -41,6 +50,11 @@ double Percentile(std::vector<double> v, double p) {
   std::sort(v.begin(), v.end());
   size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
   return v[idx];
+}
+
+// Histogram quantile in milliseconds (values recorded in microseconds).
+double QuantileMs(const obs::HistogramMetric::Snapshot& s, double q) {
+  return static_cast<double>(s.ValueAtQuantile(q)) / 1e3;
 }
 
 }  // namespace
@@ -77,8 +91,9 @@ int main(int argc, char** argv) {
                 "%d clients, %d workers\n",
                 queries, (unsigned long long)flags.GetUint("log_n", 20),
                 concurrency, threads);
-    std::printf("%5s %8s %8s %8s %8s %10s %6s %6s %6s\n", "rep", "p50ms",
-                "p95ms", "p99ms", "cxlms", "qps", "ok", "cxl", "rej");
+    std::printf("%5s %8s %8s %8s %8s %8s %10s %6s %6s %6s\n", "rep",
+                "p50ms", "p95ms", "p99ms", "q50ms", "cxlms", "qps", "ok",
+                "cxl", "rej");
   }
 
   for (int rep = 0; rep < reps; ++rep) {
@@ -87,12 +102,25 @@ int main(int argc, char** argv) {
     so.admission_bytes = admission_mb << 20;
     QuerySession session(so);
 
+    // Per-client histograms (microsecond values), merged after the join:
+    // end-to-end latency of successful queries and admission queue time of
+    // every admitted query. Exact count conservation across the merge is
+    // what makes the reported percentiles trustworthy.
+    std::vector<std::unique_ptr<obs::HistogramMetric>> lat_hists;
+    std::vector<std::unique_ptr<obs::HistogramMetric>> queue_hists;
+    for (int c = 0; c < concurrency; ++c) {
+      lat_hists.push_back(std::make_unique<obs::HistogramMetric>());
+      queue_hists.push_back(std::make_unique<obs::HistogramMetric>());
+    }
+
     std::vector<QueryOutcome> outcomes(queries);
     std::atomic<int> next{0};
     Timer wall;
     std::vector<std::thread> clients;
     for (int c = 0; c < concurrency; ++c) {
-      clients.emplace_back([&] {
+      clients.emplace_back([&, c] {
+        obs::HistogramMetric& lat_hist = *lat_hists[c];
+        obs::HistogramMetric& queue_hist = *queue_hists[c];
         for (int q = next.fetch_add(1); q < queries; q = next.fetch_add(1)) {
           const std::vector<uint64_t>& keys =
               key_sets[q % key_sets.size()];
@@ -112,6 +140,7 @@ int main(int argc, char** argv) {
           QuerySession::Admission grant;
           Status s = session.Admit(/*bytes=*/16 << 20, &grant);
           if (s.ok()) {
+            queue_hist.Record(grant.queue_ns() / 1000);
             AggregationOptions options;
             options.scheduler = session.scheduler();
             options.query_id = grant.query_id();
@@ -129,9 +158,10 @@ int main(int argc, char** argv) {
             s = op.Execute(input, &result);
             DoNotOptimize(result.keys.data());
           }
-          outcomes[q].latency_s = latency.Seconds();
           if (s.ok()) {
             outcomes[q].kind = QueryOutcome::Kind::kOk;
+            lat_hist.Record(
+                static_cast<uint64_t>(latency.Seconds() * 1e6));
           } else if (s.IsCancelled()) {
             outcomes[q].kind = QueryOutcome::Kind::kCancelled;
             if (cancel_ns.load() != 0) {
@@ -147,13 +177,19 @@ int main(int argc, char** argv) {
     for (auto& t : clients) t.join();
     const double wall_s = wall.Seconds();
 
-    std::vector<double> ok_lat, cxl_turn;
+    obs::HistogramMetric::Snapshot lat;
+    obs::HistogramMetric::Snapshot queue;
+    for (int c = 0; c < concurrency; ++c) {
+      lat.Merge(lat_hists[c]->TakeSnapshot());
+      queue.Merge(queue_hists[c]->TakeSnapshot());
+    }
+
+    std::vector<double> cxl_turn;
     int ok = 0, cancelled = 0, rejected = 0;
     for (const QueryOutcome& o : outcomes) {
       switch (o.kind) {
         case QueryOutcome::Kind::kOk:
           ++ok;
-          ok_lat.push_back(o.latency_s);
           break;
         case QueryOutcome::Kind::kCancelled:
           ++cancelled;
@@ -164,9 +200,12 @@ int main(int argc, char** argv) {
           break;
       }
     }
-    const double p50 = Percentile(ok_lat, 0.50) * 1e3;
-    const double p95 = Percentile(ok_lat, 0.95) * 1e3;
-    const double p99 = Percentile(ok_lat, 0.99) * 1e3;
+    const double p50 = QuantileMs(lat, 0.50);
+    const double p95 = QuantileMs(lat, 0.95);
+    const double p99 = QuantileMs(lat, 0.99);
+    const double q50 = QuantileMs(queue, 0.50);
+    const double q95 = QuantileMs(queue, 0.95);
+    const double q99 = QuantileMs(queue, 0.99);
     const double cxl_p50 = Percentile(cxl_turn, 0.50) * 1e3;
     const double cxl_max =
         cxl_turn.empty()
@@ -186,17 +225,28 @@ int main(int argc, char** argv) {
       r.Metric("latency_p50_ms", p50)
           .Metric("latency_p95_ms", p95)
           .Metric("latency_p99_ms", p99)
+          .Metric("admission_queue_p50_ms", q50)
+          .Metric("admission_queue_p95_ms", q95)
+          .Metric("admission_queue_p99_ms", q99)
+          .Metric("admission_queue_mean_ms",
+                  queue.TotalCount() == 0
+                      ? 0.0
+                      : static_cast<double>(queue.sum) /
+                            static_cast<double>(queue.TotalCount()) / 1e3)
           .Metric("cancel_turnaround_p50_ms", cxl_p50)
           .Metric("cancel_turnaround_max_ms", cxl_max)
           .Metric("wall_s", wall_s)
           .Metric("queries_per_s", qps);
-      r.MetricUint("ok", ok)
+      r.MetricUint("latency_samples", lat.TotalCount())
+          .MetricUint("admitted_samples", queue.TotalCount())
+          .MetricUint("ok", ok)
           .MetricUint("cancelled", cancelled)
           .MetricUint("rejected", rejected);
       reporter.Emit(r);
     } else {
-      std::printf("%5d %8.2f %8.2f %8.2f %8.2f %10.1f %6d %6d %6d\n", rep,
-                  p50, p95, p99, cxl_p50, qps, ok, cancelled, rejected);
+      std::printf("%5d %8.2f %8.2f %8.2f %8.2f %8.2f %10.1f %6d %6d %6d\n",
+                  rep, p50, p95, p99, q50, cxl_p50, qps, ok, cancelled,
+                  rejected);
     }
   }
   return 0;

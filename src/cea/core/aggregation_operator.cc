@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <string>
 
 #include "cea/common/bits.h"
 #include "cea/common/check.h"
@@ -176,27 +177,136 @@ void AggregationOperator::ResetExecutionState() {
   // per-execution numbers are deltas against this snapshot.
   pool_stats_base_ = ChunkPool::Global().GetStats();
   MemoryBudget::Global().ResetPeak();
+  scheduler_stats_base_ = scheduler_->GetStats();
+  exec_start_ = std::chrono::steady_clock::now();
 }
 
 void AggregationOperator::CollectResult(ResultTable* result,
                                         ExecStats* stats) {
   AssembleResult(result);
-  if (stats != nullptr) {
-    *stats = ExecStats{};
-    for (const ExecStats& s : worker_stats_) stats->Merge(s);
-    stats->Merge(shortcut_stats_);
-    stats->passes = num_passes_.load(std::memory_order_relaxed);
-    ChunkPool::Stats pool = ChunkPool::Global().GetStats();
-    stats->chunks_allocated = pool.fresh_chunks - pool_stats_base_.fresh_chunks;
-    stats->chunks_recycled =
-        pool.recycled_chunks - pool_stats_base_.recycled_chunks;
-    stats->mem_peak_bytes = MemoryBudget::Global().peak();
-    stats->simd_tier = static_cast<int>(simd::ActiveTier());
-  }
+  ExecStats merged;
+  for (const ExecStats& s : worker_stats_) merged.Merge(s);
+  merged.Merge(shortcut_stats_);
+  merged.passes = num_passes_.load(std::memory_order_relaxed);
+  ChunkPool::Stats pool = ChunkPool::Global().GetStats();
+  merged.chunks_allocated = pool.fresh_chunks - pool_stats_base_.fresh_chunks;
+  merged.chunks_recycled =
+      pool.recycled_chunks - pool_stats_base_.recycled_chunks;
+  merged.mem_peak_bytes = MemoryBudget::Global().peak();
+  merged.simd_tier = static_cast<int>(simd::ActiveTier());
+  if (stats != nullptr) *stats = merged;
   if (options_.obs != nullptr && options_.obs->counters_enabled()) {
     obs::PerfSample totals;
     for (auto& r : resources_) totals.Accumulate(r->counters().TakeTotal());
     options_.obs->SetCounterTotals(totals);
+  }
+  if (options_.obs != nullptr && options_.obs->profile_enabled()) {
+    FillProfile(merged);
+  }
+}
+
+void AggregationOperator::FillProfile(const ExecStats& merged) {
+  using Unit = obs::RuntimeProfile::Unit;
+  using MergeOp = obs::RuntimeProfile::MergeOp;
+  obs::RuntimeProfile& root = options_.obs->profile();
+  root.Clear();  // a reused ObsContext profiles the last execution only
+
+  const char* policy_name = "ADAPTIVE";
+  switch (options_.policy) {
+    case AggregationOptions::PolicyKind::kAdaptive:
+      policy_name = "ADAPTIVE";
+      break;
+    case AggregationOptions::PolicyKind::kHashingOnly:
+      policy_name = "HASHING_ONLY";
+      break;
+    case AggregationOptions::PolicyKind::kPartitionAlways:
+      policy_name = "PARTITION_ALWAYS";
+      break;
+  }
+  root.SetInfo("threads", std::to_string(num_threads()));
+  root.SetInfo("simd_tier", simd::TierName(static_cast<simd::DispatchTier>(
+                                merged.simd_tier)));
+  root.AddCounter("total_time", Unit::kNanos, MergeOp::kMax)
+      ->Set(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - exec_start_)
+                .count());
+  // Level-0 intake; rows re-processed at deeper levels are reported per
+  // level under "passes".
+  root.AddCounter("rows_in", Unit::kRows)
+      ->Set(static_cast<int64_t>(merged.rows_hashed_at_level[0] +
+                                 merged.rows_partitioned_at_level[0]));
+
+  obs::RuntimeProfile* strategy = root.GetOrCreateChild("strategy");
+  strategy->SetInfo("policy", policy_name);
+  strategy->SetInfo("alpha0", std::to_string(options_.alpha0));
+  strategy->SetInfo("c", std::to_string(options_.c));
+  strategy->AddCounter("mean_alpha", Unit::kDouble, MergeOp::kMax)
+      ->SetDouble(merged.mean_alpha());
+  strategy->AddCounter("alpha_samples")->Set(
+      static_cast<int64_t>(merged.num_alpha));
+  strategy->AddCounter("switches_to_partition")
+      ->Set(static_cast<int64_t>(merged.switches_to_partition));
+  strategy->AddCounter("switches_to_hash")
+      ->Set(static_cast<int64_t>(merged.switches_to_hash));
+  strategy->AddCounter("final_hash_passes")
+      ->Set(static_cast<int64_t>(merged.final_hash_passes));
+  strategy->AddCounter("distinct_shortcut_runs")
+      ->Set(static_cast<int64_t>(merged.distinct_shortcut_runs));
+  strategy->AddCounter("fallback_buckets")
+      ->Set(static_cast<int64_t>(merged.fallback_buckets));
+
+  obs::RuntimeProfile* passes = root.GetOrCreateChild("passes");
+  passes->AddCounter("passes")->Set(static_cast<int64_t>(merged.passes));
+  passes->AddCounter("morsels")->Set(static_cast<int64_t>(merged.morsels));
+  passes->AddCounter("tables_flushed")
+      ->Set(static_cast<int64_t>(merged.tables_flushed));
+  for (int l = 0; l <= merged.max_level &&
+                  l < static_cast<int>(merged.rows_hashed_at_level.size());
+       ++l) {
+    obs::RuntimeProfile* level =
+        passes->GetOrCreateChild("level_" + std::to_string(l));
+    level->AddCounter("rows_hashed", Unit::kRows)
+        ->Set(static_cast<int64_t>(merged.rows_hashed_at_level[l]));
+    level->AddCounter("rows_partitioned", Unit::kRows)
+        ->Set(static_cast<int64_t>(merged.rows_partitioned_at_level[l]));
+    level->AddCounter("cpu_time", Unit::kNanos)
+        ->Set(static_cast<int64_t>(merged.seconds_at_level[l] * 1e9));
+  }
+
+  obs::RuntimeProfile* sched = root.GetOrCreateChild("scheduler");
+  TaskScheduler::Stats ss = scheduler_->GetStats();
+  sched->AddCounter("tasks_submitted")
+      ->Set(static_cast<int64_t>(ss.submitted - scheduler_stats_base_.submitted));
+  sched->AddCounter("tasks_executed")
+      ->Set(static_cast<int64_t>(ss.executed - scheduler_stats_base_.executed));
+  sched->AddCounter("tasks_helped")
+      ->Set(static_cast<int64_t>(ss.helped - scheduler_stats_base_.helped));
+
+  obs::RuntimeProfile* mem = root.GetOrCreateChild("memory");
+  mem->AddCounter("peak_bytes", Unit::kBytes, MergeOp::kMax)
+      ->Set(static_cast<int64_t>(merged.mem_peak_bytes));
+  mem->AddCounter("chunks_fresh")
+      ->Set(static_cast<int64_t>(merged.chunks_allocated));
+  mem->AddCounter("chunks_recycled")
+      ->Set(static_cast<int64_t>(merged.chunks_recycled));
+
+  // Worker nodes go through the real MergeFrom path: each worker's stats
+  // become a one-node subtree, folded into an aggregate that keeps sums
+  // plus a kMax skew signal. With one worker the aggregate equals it.
+  obs::RuntimeProfile* workers = root.GetOrCreateChild("workers");
+  workers->SetInfo("count", std::to_string(worker_stats_.size()));
+  for (const ExecStats& ws : worker_stats_) {
+    obs::RuntimeProfile one("workers");
+    one.AddCounter("morsels")->Set(static_cast<int64_t>(ws.morsels));
+    one.AddCounter("morsels_max", Unit::kNone, MergeOp::kMax)
+        ->Set(static_cast<int64_t>(ws.morsels));
+    one.AddCounter("rows_hashed", Unit::kRows)
+        ->Set(static_cast<int64_t>(ws.rows_hashed));
+    one.AddCounter("rows_partitioned", Unit::kRows)
+        ->Set(static_cast<int64_t>(ws.rows_partitioned));
+    one.AddCounter("tables_flushed")
+        ->Set(static_cast<int64_t>(ws.tables_flushed));
+    workers->MergeFrom(one);
   }
 }
 

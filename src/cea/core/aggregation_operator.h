@@ -221,10 +221,20 @@ class AggregationOperator {
   // teardown is surfaced to the caller instead of silently swallowed.
   Status AbortStream();
   void CollectResult(ResultTable* result, ExecStats* stats);
+  // Rebuilds options_.obs->profile() from the merged execution telemetry
+  // (strategy decision, per-level pass stats, scheduler, memory, per-worker
+  // subtrees). Called from CollectResult; costs nothing on the hot path.
+  void FillProfile(const ExecStats& merged);
 
   // ChunkPool/MemoryBudget snapshot taken at execution start; the deltas
   // become the ExecStats memory counters at result collection.
   ChunkPool::Stats pool_stats_base_;
+  // TaskScheduler counter snapshot taken at execution start (the pool may
+  // be shared and is process-lifetime monotonic, same delta scheme).
+  TaskScheduler::Stats scheduler_stats_base_;
+  // Execution start time; CollectResult turns it into the profile's
+  // total_time timer.
+  std::chrono::steady_clock::time_point exec_start_;
 };
 
 }  // namespace cea

@@ -13,11 +13,11 @@ namespace cea {
 // (and ExecStatsToJson / FormatExecStats) silently drops telemetry when
 // per-worker stats are merged. Growing the struct trips this assert;
 // update Merge(), the JSON/text serializers, the stats tests, and then the
-// expected size. (LP64 layout: 12 u64 counters, two packed ints, double,
+// expected size. (LP64 layout: 13 u64 counters, two packed ints, double,
 // u64, then three per-level arrays.)
 #if defined(__x86_64__) || defined(__aarch64__)
 static_assert(sizeof(ExecStats) ==
-                  15 * sizeof(uint64_t) +
+                  16 * sizeof(uint64_t) +
                       3 * sizeof(std::array<uint64_t, kMaxRadixLevel + 1>),
               "ExecStats changed: update Merge(), ExecStatsToJson(), "
               "FormatExecStats() and this canary");
@@ -33,6 +33,7 @@ void ExecStats::Merge(const ExecStats& other) {
   distinct_shortcut_runs += other.distinct_shortcut_runs;
   fallback_buckets += other.fallback_buckets;
   passes += other.passes;
+  morsels += other.morsels;
   chunks_allocated += other.chunks_allocated;
   chunks_recycled += other.chunks_recycled;
   mem_peak_bytes = std::max(mem_peak_bytes, other.mem_peak_bytes);
@@ -340,6 +341,7 @@ void PassContext::ProcessMorsel(const Morsel& m) {
   // work of this worker to a single morsel. The pass state stays
   // consistent — nothing of this morsel has been consumed yet.
   if (control_ != nullptr) control_->ThrowIfCancelled();
+  ++stats_->morsels;
   size_t i = 0;
   while (i < m.n) {
     if (mode_ == Mode::kPartition) {

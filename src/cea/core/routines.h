@@ -61,6 +61,9 @@ struct ExecStats {
   uint64_t distinct_shortcut_runs = 0;
   uint64_t fallback_buckets = 0;
   uint64_t passes = 0;
+  // Morsels consumed by PassContext::ProcessMorsel — with per-worker stats
+  // this is the work-distribution signal the profile's worker nodes report.
+  uint64_t morsels = 0;
   // Run-store memory telemetry (process-wide ChunkPool/MemoryBudget deltas
   // captured by the operator per execution): chunks served from fresh OS
   // memory vs. recycled from the pool, and the peak accounted bytes.

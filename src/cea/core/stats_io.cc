@@ -36,10 +36,10 @@ std::string FormatExecStats(const ExecStats& stats) {
           "rows: %" PRIu64 " hashed (%.1f%%), %" PRIu64 " partitioned\n",
           stats.rows_hashed, hash_pct, stats.rows_partitioned);
   Appendf(&out,
-          "passes: %" PRIu64 ", tables flushed: %" PRIu64
+          "passes: %" PRIu64 ", morsels: %" PRIu64 ", tables flushed: %" PRIu64
           ", final hash passes: %" PRIu64 ", shortcut runs: %" PRIu64 "\n",
-          stats.passes, stats.tables_flushed, stats.final_hash_passes,
-          stats.distinct_shortcut_runs);
+          stats.passes, stats.morsels, stats.tables_flushed,
+          stats.final_hash_passes, stats.distinct_shortcut_runs);
   Appendf(&out,
           "switches: %" PRIu64 " to partitioning, %" PRIu64
           " back to hashing; mean alpha: %.2f (%" PRIu64 " samples)\n",
@@ -75,6 +75,7 @@ std::string ExecStatsToJson(const ExecStats& stats) {
   w.Key("distinct_shortcut_runs").Uint(stats.distinct_shortcut_runs);
   w.Key("fallback_buckets").Uint(stats.fallback_buckets);
   w.Key("passes").Uint(stats.passes);
+  w.Key("morsels").Uint(stats.morsels);
   w.Key("chunks_allocated").Uint(stats.chunks_allocated);
   w.Key("chunks_recycled").Uint(stats.chunks_recycled);
   w.Key("mem_peak_bytes").Uint(stats.mem_peak_bytes);

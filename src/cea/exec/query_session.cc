@@ -5,9 +5,36 @@
 
 #include "cea/common/check.h"
 #include "cea/mem/chunk_pool.h"
+#include "cea/obs/metrics.h"
 
 namespace cea {
 namespace {
+
+// Session metrics live in the process-wide registry so every session of
+// the process feeds one exposition (the future daemon scrapes one page).
+// Registration is idempotent; pointers are process-lifetime.
+struct SessionMetrics {
+  obs::CounterMetric* admitted;
+  obs::CounterMetric* rejected;
+  obs::HistogramMetric* queue_us;
+
+  static const SessionMetrics& Get() {
+    static const SessionMetrics m = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      SessionMetrics sm;
+      sm.admitted = r.RegisterCounter("cea_session_admitted_total",
+                                      "Queries granted admission");
+      sm.rejected = r.RegisterCounter(
+          "cea_session_rejected_total",
+          "Queries rejected or cancelled at admission");
+      sm.queue_us = r.RegisterHistogram(
+          "cea_session_queue_time_us",
+          "Admission wait per admitted query in microseconds");
+      return sm;
+    }();
+    return m;
+  }
+};
 
 std::string HumanBytes(size_t bytes) {
   constexpr size_t kMiB = size_t{1} << 20;
@@ -51,9 +78,11 @@ void QuerySession::Admission::Release() {
 Status QuerySession::Admit(size_t bytes, Admission* grant,
                            CancellationToken token) {
   CEA_CHECK(grant != nullptr && !grant->admitted());
+  const auto entry = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mutex_);
   if (capacity_ != 0 && bytes > capacity_) {
     ++rejected_total_;
+    SessionMetrics::Get().rejected->Increment();
     return Status::ResourceExhausted(
         "query needs " + HumanBytes(bytes) + " but the session capacity is " +
         HumanBytes(capacity_) + "; it can never be admitted");
@@ -62,6 +91,7 @@ Status QuerySession::Admit(size_t bytes, Admission* grant,
   if (must_wait) {
     if (fifo_.size() >= options_.max_queued) {
       ++rejected_total_;
+      SessionMetrics::Get().rejected->Increment();
       return Status::ResourceExhausted(
           "admission queue is full (" + std::to_string(fifo_.size()) +
           " queries waiting); rejecting instead of queueing");
@@ -80,6 +110,7 @@ Status QuerySession::Admit(size_t bytes, Admission* grant,
           }
         }
         ++rejected_total_;
+        SessionMetrics::Get().rejected->Increment();
         cv_.notify_all();  // the next ticket may be serviceable now
         return cancel;
       }
@@ -95,6 +126,15 @@ Status QuerySession::Admit(size_t bytes, Admission* grant,
   grant->session_ = this;
   grant->bytes_ = bytes;
   grant->query_id_ = ++next_query_id_;
+  grant->queue_ns_ =
+      must_wait ? static_cast<uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - entry)
+                          .count())
+                : 0;
+  const SessionMetrics& metrics = SessionMetrics::Get();
+  metrics.admitted->Increment();
+  metrics.queue_us->Record(grant->queue_ns_ / 1000);
   cv_.notify_all();
   return Status::Ok();
 }

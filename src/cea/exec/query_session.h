@@ -90,6 +90,7 @@ class QuerySession {
         session_ = other.session_;
         bytes_ = other.bytes_;
         query_id_ = other.query_id_;
+        queue_ns_ = other.queue_ns_;
         other.session_ = nullptr;
       }
       return *this;
@@ -100,6 +101,10 @@ class QuerySession {
     bool admitted() const { return session_ != nullptr; }
     uint64_t query_id() const { return query_id_; }
     size_t reserved_bytes() const { return bytes_; }
+    // Wall time this query spent waiting for admission (entry to grant);
+    // 0 when it was admitted without queueing. Survives Release() so the
+    // caller can report it after the query finished.
+    uint64_t queue_ns() const { return queue_ns_; }
     void Release();
 
    private:
@@ -107,6 +112,7 @@ class QuerySession {
     QuerySession* session_ = nullptr;
     size_t bytes_ = 0;
     uint64_t query_id_ = 0;
+    uint64_t queue_ns_ = 0;
   };
 
   // Blocks (FIFO) until `bytes` fit under the capacity and a concurrency

@@ -112,6 +112,7 @@ void TaskScheduler::Submit(TaskGroup* group, Task task) {
     ++outstanding_;
     if (group != nullptr) ++group->pending_;
     queue_.push_back(Item{std::move(task), group});
+    submitted_.fetch_add(1, std::memory_order_relaxed);
   }
   // notify_all, not notify_one: besides idle workers, callers blocked in
   // Wait()/WaitGroup()/ParallelFor must wake to help drain the new work.
@@ -120,6 +121,7 @@ void TaskScheduler::Submit(TaskGroup* group, Task task) {
 
 void TaskScheduler::RunTask(std::unique_lock<std::mutex>& lock, Item item,
                             int worker_id) {
+  executed_.fetch_add(1, std::memory_order_relaxed);
   lock.unlock();
   ++tls_task_depth;
   tls_group_stack.push_back(item.group);
@@ -147,6 +149,7 @@ Status TaskScheduler::Wait() {
     if (from_worker && !queue_.empty()) {
       Item item = std::move(queue_.front());
       queue_.pop_front();
+      helped_.fetch_add(1, std::memory_order_relaxed);
       RunTask(lock, std::move(item), tls_worker_id);
       continue;
     }
@@ -188,6 +191,7 @@ Status TaskScheduler::WaitGroup(TaskGroup* group) {
       // quiescence), so they are not added to blocked_depth_.
       Item item = std::move(queue_.front());
       queue_.pop_front();
+      helped_.fetch_add(1, std::memory_order_relaxed);
       RunTask(lock, std::move(item), tls_worker_id);
       continue;
     }
@@ -238,6 +242,7 @@ Status TaskScheduler::ParallelFor(size_t n,
     ++outstanding_;
     queue_.push_back(Item{body, nullptr});
   }
+  submitted_.fetch_add(tasks, std::memory_order_relaxed);
   cv_.notify_all();
   while (st->pending != 0) {
     if (from_worker && !queue_.empty()) {
@@ -245,6 +250,7 @@ Status TaskScheduler::ParallelFor(size_t n,
       // guaranteed even when every worker is blocked in a nested join.
       Item item = std::move(queue_.front());
       queue_.pop_front();
+      helped_.fetch_add(1, std::memory_order_relaxed);
       RunTask(lock, std::move(item), tls_worker_id);
       continue;
     }

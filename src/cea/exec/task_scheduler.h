@@ -131,6 +131,23 @@ class TaskScheduler {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  // Monotonic pool telemetry (relaxed atomics; snapshot and subtract for
+  // per-execution deltas). `helped` counts tasks executed by a thread
+  // blocked in Wait()/WaitGroup()/ParallelFor draining the queue instead
+  // of parking — the pool's work-stealing signal.
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t executed = 0;
+    uint64_t helped = 0;
+  };
+  Stats GetStats() const {
+    Stats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.executed = executed_.load(std::memory_order_relaxed);
+    s.helped = helped_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   friend class TaskGroup;
   struct ForState;
@@ -157,6 +174,9 @@ class TaskScheduler {
                                // Wait(), guarded by mutex_
   Status first_error_;         // first pool-wide task error since last Wait()
   bool shutdown_ = false;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> helped_{0};
   std::vector<std::thread> workers_;
 };
 

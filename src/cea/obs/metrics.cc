@@ -1,0 +1,370 @@
+#include "cea/obs/metrics.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "cea/common/check.h"
+#include "cea/mem/chunk_pool.h"
+#include "cea/obs/json_writer.h"
+
+namespace cea::obs {
+
+namespace {
+
+bool ValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+// %g prints doubles compactly but must stay locale-independent and never
+// produce "inf"/"nan" (Prometheus accepts +Inf/-Inf/NaN spellings).
+void AppendDouble(double v, std::string* out) {
+  if (std::isnan(v)) {
+    out->append("NaN");
+    return;
+  }
+  if (std::isinf(v)) {
+    out->append(v > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendUint(uint64_t v, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+}  // namespace
+
+uint64_t HistogramMetric::BucketUpperBound(int i) {
+  CEA_DCHECK(i >= 0 && i < kNumBuckets);
+  if (i < kSubBuckets) return static_cast<uint64_t>(i);
+  int rest = i - kSubBuckets;
+  int e = kSubBits + rest / kHalf;
+  int within = rest % kHalf;
+  // Bucket covers [ (kHalf + within) << (e - kSubBits + 1),
+  //                 (kHalf + within + 1) << (e - kSubBits + 1) ).
+  uint64_t width_shift = static_cast<uint64_t>(e - kSubBits + 1);
+  return ((static_cast<uint64_t>(kHalf + within + 1) << width_shift)) - 1;
+}
+
+HistogramMetric::Snapshot HistogramMetric::TakeSnapshot() const {
+  Snapshot s;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t HistogramMetric::Snapshot::TotalCount() const {
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  return total;
+}
+
+void HistogramMetric::Snapshot::Merge(const Snapshot& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+  sum += other.sum;
+}
+
+uint64_t HistogramMetric::Snapshot::ValueAtQuantile(double q) const {
+  uint64_t total = TotalCount();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * total));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();  // never destroyed
+  return *registry;
+}
+
+MetricRegistry::Entry* MetricRegistry::FindOrCreate(std::string_view name,
+                                                    std::string_view help,
+                                                    Kind kind) {
+  CEA_CHECK_MSG(ValidMetricName(name), "invalid metric name");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : entries_) {
+    if (e->name == name) {
+      CEA_CHECK_MSG(e->kind == kind,
+                    "metric re-registered with a different kind");
+      return e.get();
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry->counter = std::make_unique<CounterMetric>();
+      break;
+    case Kind::kGauge:
+      entry->gauge = std::make_unique<GaugeMetric>();
+      break;
+    case Kind::kHistogram:
+      entry->histogram = std::make_unique<HistogramMetric>();
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.back().get();
+}
+
+CounterMetric* MetricRegistry::RegisterCounter(std::string_view name,
+                                               std::string_view help) {
+  return FindOrCreate(name, help, Kind::kCounter)->counter.get();
+}
+
+GaugeMetric* MetricRegistry::RegisterGauge(std::string_view name,
+                                           std::string_view help) {
+  return FindOrCreate(name, help, Kind::kGauge)->gauge.get();
+}
+
+GaugeMetric* MetricRegistry::RegisterCallbackGauge(
+    std::string_view name, std::string_view help,
+    std::function<double()> callback) {
+  GaugeMetric* g = FindOrCreate(name, help, Kind::kGauge)->gauge.get();
+  if (!g->callback_) g->callback_ = std::move(callback);
+  return g;
+}
+
+HistogramMetric* MetricRegistry::RegisterHistogram(std::string_view name,
+                                                   std::string_view help) {
+  return FindOrCreate(name, help, Kind::kHistogram)->histogram.get();
+}
+
+std::string MetricRegistry::PrometheusText() const {
+  // Snapshot the entry pointers under the lock; entries are append-only
+  // and individually thread-safe, so rendering proceeds without it.
+  std::vector<const Entry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries.reserve(entries_.size());
+    for (const auto& e : entries_) entries.push_back(e.get());
+  }
+
+  std::string out;
+  out.reserve(entries.size() * 128);
+  for (const Entry* e : entries) {
+    if (!e->help.empty()) {
+      out += "# HELP ";
+      out += e->name;
+      out += ' ';
+      out += e->help;  // metric help is ASCII by construction, no escaping
+      out += '\n';
+    }
+    out += "# TYPE ";
+    out += e->name;
+    switch (e->kind) {
+      case Kind::kCounter: {
+        out += " counter\n";
+        out += e->name;
+        out += ' ';
+        AppendUint(e->counter->value(), &out);
+        out += '\n';
+        break;
+      }
+      case Kind::kGauge: {
+        out += " gauge\n";
+        out += e->name;
+        out += ' ';
+        AppendDouble(e->gauge->value(), &out);
+        out += '\n';
+        break;
+      }
+      case Kind::kHistogram: {
+        out += " histogram\n";
+        HistogramMetric::Snapshot s = e->histogram->TakeSnapshot();
+        // Power-of-two `le` boundaries from 1 to 2^40 (~1.1e12; covers ns
+        // through ~18 minutes). Each boundary 2^k - 1 is the upper bound
+        // of an internal bucket, so cumulative counts are exact.
+        uint64_t cumulative = 0;
+        int bucket = 0;
+        for (int k = 0; k <= 40; ++k) {
+          uint64_t le = (k == 0) ? 0 : (uint64_t{1} << k) - 1;
+          while (bucket < HistogramMetric::kNumBuckets &&
+                 HistogramMetric::BucketUpperBound(bucket) <= le) {
+            cumulative += s.buckets[bucket];
+            ++bucket;
+          }
+          out += e->name;
+          out += "_bucket{le=\"";
+          AppendUint(le, &out);
+          out += "\"} ";
+          AppendUint(cumulative, &out);
+          out += '\n';
+        }
+        while (bucket < HistogramMetric::kNumBuckets) {
+          cumulative += s.buckets[bucket];
+          ++bucket;
+        }
+        out += e->name;
+        out += "_bucket{le=\"+Inf\"} ";
+        AppendUint(cumulative, &out);
+        out += '\n';
+        out += e->name;
+        out += "_sum ";
+        AppendUint(s.sum, &out);
+        out += '\n';
+        out += e->name;
+        out += "_count ";
+        AppendUint(cumulative, &out);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricRegistry::WriteJson(JsonWriter* w) const {
+  std::vector<const Entry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries.reserve(entries_.size());
+    for (const auto& e : entries_) entries.push_back(e.get());
+  }
+
+  w->BeginObject();
+  w->Key("counters").BeginObject();
+  for (const Entry* e : entries) {
+    if (e->kind == Kind::kCounter) w->Key(e->name).Uint(e->counter->value());
+  }
+  w->EndObject();
+  w->Key("gauges").BeginObject();
+  for (const Entry* e : entries) {
+    if (e->kind == Kind::kGauge) w->Key(e->name).Double(e->gauge->value());
+  }
+  w->EndObject();
+  w->Key("histograms").BeginObject();
+  for (const Entry* e : entries) {
+    if (e->kind != Kind::kHistogram) continue;
+    HistogramMetric::Snapshot s = e->histogram->TakeSnapshot();
+    w->Key(e->name).BeginObject();
+    w->Key("count").Uint(s.TotalCount());
+    w->Key("sum").Uint(s.sum);
+    w->Key("p50").Uint(s.ValueAtQuantile(0.50));
+    w->Key("p95").Uint(s.ValueAtQuantile(0.95));
+    w->Key("p99").Uint(s.ValueAtQuantile(0.99));
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string MetricRegistry::JsonSnapshot() const {
+  JsonWriter w;
+  WriteJson(&w);
+  return w.str();
+}
+
+void RegisterProcessMetrics(MetricRegistry* registry) {
+  registry->RegisterCallbackGauge(
+      "cea_mem_budget_used_bytes", "Run-store bytes currently charged",
+      [] { return static_cast<double>(MemoryBudget::Global().used()); });
+  registry->RegisterCallbackGauge(
+      "cea_mem_budget_peak_bytes", "Run-store peak charged bytes",
+      [] { return static_cast<double>(MemoryBudget::Global().peak()); });
+  registry->RegisterCallbackGauge(
+      "cea_mem_budget_limit_bytes", "Run-store budget limit (0 = unlimited)",
+      [] { return static_cast<double>(MemoryBudget::Global().limit()); });
+  registry->RegisterCallbackGauge(
+      "cea_mem_pool_recycled_chunks_total",
+      "Chunk allocations served from a freelist", [] {
+        return static_cast<double>(
+            ChunkPool::Global().GetStats().recycled_chunks);
+      });
+  registry->RegisterCallbackGauge(
+      "cea_mem_pool_fresh_chunks_total",
+      "Chunk allocations carved from fresh slab memory", [] {
+        return static_cast<double>(ChunkPool::Global().GetStats().fresh_chunks);
+      });
+  registry->RegisterCallbackGauge(
+      "cea_mem_pool_slabs_total", "2 MiB slabs fetched from the OS", [] {
+        return static_cast<double>(
+            ChunkPool::Global().GetStats().slabs_allocated);
+      });
+}
+
+JsonlMetricSink::JsonlMetricSink(MetricRegistry* registry, std::string path,
+                                 int64_t period_ms)
+    : registry_(registry), path_(std::move(path)), period_ms_(period_ms) {
+  CEA_CHECK_MSG(period_ms_ > 0, "sink period must be positive");
+  if (path_ != "-") {
+    // Probe writability up front so a bad path fails at construction, not
+    // silently in the background thread.
+    std::FILE* f = std::fopen(path_.c_str(), "a");
+    if (f == nullptr) return;
+    std::fclose(f);
+  }
+  ok_ = true;
+  thread_ = std::thread([this] { Run(); });
+}
+
+JsonlMetricSink::~JsonlMetricSink() { Stop(); }
+
+void JsonlMetricSink::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stop_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (ok_) WriteSnapshot();  // final snapshot after the thread is gone
+}
+
+void JsonlMetricSink::Run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                     [this] { return stop_; })) {
+      return;
+    }
+    lock.unlock();
+    WriteSnapshot();
+    lock.lock();
+  }
+}
+
+void JsonlMetricSink::WriteSnapshot() {
+  std::string line = registry_->JsonSnapshot();
+  line += '\n';
+  if (path_ == "-") {
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fflush(stdout);
+  } else {
+    std::FILE* f = std::fopen(path_.c_str(), "a");
+    if (f == nullptr) return;
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fclose(f);
+  }
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace cea::obs

@@ -1,0 +1,233 @@
+// Process-wide metric registry with Prometheus/JSONL exposition.
+//
+// Three metric kinds, all safe for concurrent recording:
+//
+//  * CounterMetric — monotonic uint64 (relaxed atomic add).
+//  * GaugeMetric   — settable double, or a callback gauge sampled at
+//    exposition time (used for the ChunkPool/MemoryBudget telemetry
+//    that already lives in its own atomics).
+//  * HistogramMetric — a lock-free fixed-bucket log-linear histogram
+//    (HdrHistogram-shaped): 64 unit-width buckets, then 32 buckets per
+//    power of two, so any uint64 value records with one relaxed
+//    fetch_add and ≤3.2% relative value error. Snapshots are plain
+//    structs that merge exactly (bucket-wise addition — no resampling
+//    loss), so per-thread histograms combine into exact distribution
+//    totals; p50/p95/p99 come from the merged cumulative counts.
+//
+// Naming scheme: `cea_<subsystem>_<name>` with the unit as a trailing
+// token (`_bytes`, `_us`, `_total` for monotonic counters), matching the
+// Prometheus conventions the text serializer targets.
+//
+// Exposition:
+//  * PrometheusText() renders the v0.0.4 text format (# HELP/# TYPE plus
+//    samples; histograms as cumulative `le` buckets at power-of-two
+//    boundaries, `_sum` and `_count`) — the future daemon's /metrics
+//    handler is a call to this function.
+//  * JsonSnapshot() renders one compact JSON object per call;
+//    JsonlMetricSink appends one per period to a file from a background
+//    thread (plus a final snapshot at Stop), giving long-running
+//    processes an append-only metrics trajectory.
+
+#ifndef CEA_OBS_METRICS_H_
+#define CEA_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace cea::obs {
+
+class JsonWriter;
+
+class CounterMetric {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class GaugeMetric {
+ public:
+  void Set(double v) { bits_.store(Bits(v), std::memory_order_relaxed); }
+  double value() const {
+    if (callback_) return callback_();
+    uint64_t b = bits_.load(std::memory_order_relaxed);
+    double v;
+    static_assert(sizeof(v) == sizeof(b), "bit width");
+    __builtin_memcpy(&v, &b, sizeof(v));
+    return v;
+  }
+
+ private:
+  friend class MetricRegistry;
+  static uint64_t Bits(double v) {
+    uint64_t b;
+    __builtin_memcpy(&b, &v, sizeof(b));
+    return b;
+  }
+  std::atomic<uint64_t> bits_{0};
+  std::function<double()> callback_;  // set once at registration
+};
+
+// Lock-free log-linear histogram over uint64 values.
+//
+// Bucket layout (kSubBits = 6, S = 64):
+//   values [0, 64): one bucket per value (index v);
+//   values with floor(log2 v) = e >= 6: 32 buckets of width 2^(e-5)
+//   (the upper half of the 64-way subdivision of the octave).
+// Total buckets: 64 + 58 * 32 = 1920. Worst-case relative error of a
+// bucket's representative upper bound: 1/32 ≈ 3.2%.
+class HistogramMetric {
+ public:
+  static constexpr int kSubBits = 6;
+  static constexpr int kSubBuckets = 1 << kSubBits;         // 64
+  static constexpr int kHalf = kSubBuckets / 2;             // 32
+  static constexpr int kNumBuckets =
+      kSubBuckets + (63 - kSubBits) * kHalf + kHalf;        // 1920
+
+  // Index of the bucket containing `v`. Buckets partition [0, 2^64).
+  static int BucketIndex(uint64_t v) {
+    if (v < static_cast<uint64_t>(kSubBuckets)) return static_cast<int>(v);
+    int e = 63 - __builtin_clzll(v);  // floor(log2 v), >= kSubBits
+    int within = static_cast<int>(v >> (e - kSubBits + 1)) - kHalf;
+    return kSubBuckets + (e - kSubBits) * kHalf + within;
+  }
+
+  // Largest value mapping to bucket `i` (the bucket's inclusive upper
+  // bound; percentiles report this, so they never under-estimate).
+  static uint64_t BucketUpperBound(int i);
+
+  void Record(uint64_t v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  // Mergeable point-in-time copy. Not atomic across buckets (values
+  // recorded concurrently may straddle the copy), but no recorded value
+  // is ever lost or double-counted by Merge.
+  struct Snapshot {
+    std::array<uint64_t, kNumBuckets> buckets{};
+    uint64_t sum = 0;
+
+    uint64_t TotalCount() const;
+    void Merge(const Snapshot& other);
+    // Value at quantile q in [0, 1]: upper bound of the bucket where the
+    // cumulative count first reaches ceil(q * total). 0 when empty.
+    uint64_t ValueAtQuantile(double q) const;
+  };
+
+  Snapshot TakeSnapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// Registry of named metrics. Registration is idempotent: re-registering
+// a name returns the existing metric (the kind must match; a kind
+// mismatch CEA_CHECK-fails — it is a naming bug). Metric pointers stay
+// valid for the registry's lifetime. Metric names must match
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+class MetricRegistry {
+ public:
+  // Process-wide registry (QuerySession and the process gauges report
+  // here); separate instances serve tests and scoped exposition.
+  static MetricRegistry& Global();
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  CounterMetric* RegisterCounter(std::string_view name,
+                                 std::string_view help);
+  GaugeMetric* RegisterGauge(std::string_view name, std::string_view help);
+  // Gauge whose value is computed at exposition time. The callback must
+  // be thread-safe and non-blocking.
+  GaugeMetric* RegisterCallbackGauge(std::string_view name,
+                                     std::string_view help,
+                                     std::function<double()> callback);
+  HistogramMetric* RegisterHistogram(std::string_view name,
+                                     std::string_view help);
+
+  // Prometheus text exposition format v0.0.4.
+  std::string PrometheusText() const;
+
+  // One compact JSON object: {"counters":{...},"gauges":{...},
+  // "histograms":{name:{count,sum,p50,p95,p99},...}}.
+  std::string JsonSnapshot() const;
+  void WriteJson(JsonWriter* w) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::unique_ptr<CounterMetric> counter;
+    std::unique_ptr<GaugeMetric> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  Entry* FindOrCreate(std::string_view name, std::string_view help,
+                      Kind kind);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // insertion-ordered
+};
+
+// Registers callback gauges for the process-wide run-store telemetry
+// (ChunkPool counters, MemoryBudget used/peak/limit) in `registry`.
+// Idempotent; call once before exposition.
+void RegisterProcessMetrics(MetricRegistry* registry);
+
+// Appends one JsonSnapshot line to `path` every `period_ms` from a
+// background thread, plus a final line when stopped/destroyed. A path
+// of "-" writes to stdout.
+class JsonlMetricSink {
+ public:
+  JsonlMetricSink(MetricRegistry* registry, std::string path,
+                  int64_t period_ms);
+  ~JsonlMetricSink();
+
+  JsonlMetricSink(const JsonlMetricSink&) = delete;
+  JsonlMetricSink& operator=(const JsonlMetricSink&) = delete;
+
+  bool ok() const { return ok_; }
+  // Stops the thread and writes the final snapshot. Idempotent.
+  void Stop();
+  uint64_t snapshots_written() const {
+    return snapshots_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run();
+  void WriteSnapshot();
+
+  MetricRegistry* registry_;
+  std::string path_;
+  int64_t period_ms_;
+  bool ok_ = false;
+  std::atomic<uint64_t> snapshots_{0};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace cea::obs
+
+#endif  // CEA_OBS_METRICS_H_

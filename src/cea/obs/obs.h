@@ -17,6 +17,7 @@
 #define CEA_OBS_OBS_H_
 
 #include "cea/obs/perf_counters.h"
+#include "cea/obs/runtime_profile.h"
 #include "cea/obs/trace.h"
 
 namespace cea::obs {
@@ -26,19 +27,27 @@ class ObsContext {
   struct Options {
     bool counters = true;
     bool trace = true;
+    bool profile = true;
   };
 
   ObsContext() : ObsContext(Options{}) {}
-  explicit ObsContext(Options opts) : opts_(opts) {}
+  explicit ObsContext(Options opts) : opts_(opts), profile_("query") {}
 
   ObsContext(const ObsContext&) = delete;
   ObsContext& operator=(const ObsContext&) = delete;
 
   bool counters_enabled() const { return opts_.counters; }
   bool trace_enabled() const { return opts_.trace; }
+  bool profile_enabled() const { return opts_.profile; }
 
   TraceRecorder& trace() { return trace_; }
   const TraceRecorder& trace() const { return trace_; }
+
+  // Hierarchical runtime profile of the last collected execution; the
+  // operator fills it when results are assembled (near-zero hot-path
+  // cost: nodes are built from stats the execution maintains anyway).
+  RuntimeProfile& profile() { return profile_; }
+  const RuntimeProfile& profile() const { return profile_; }
 
   // Counter deltas summed over every worker of the last collected
   // execution; written by the operator when results are assembled.
@@ -49,6 +58,7 @@ class ObsContext {
  private:
   Options opts_;
   TraceRecorder trace_;
+  RuntimeProfile profile_;
   PerfSample totals_;
 };
 

@@ -141,18 +141,22 @@ PerfSample PerfCounterGroup::Stop() {
     uint64_t value = now.value - base_[e].value;
     uint64_t enabled = now.enabled - base_[e].enabled;
     uint64_t running = now.running - base_[e].running;
-    if (running == 0) {
-      // Never scheduled during the interval: with other PMU users the
-      // kernel may not have multiplexed us in at all. A zero-length
-      // interval (enabled == 0) legitimately counted zero events.
-      if (enabled != 0) continue;
-      value = 0;
+    if (enabled == 0) {
+      // Zero-length enabled interval (first short read, or clock did not
+      // advance): the enabled/running ratio is 0/0 — any "scaling" would
+      // divide by zero or zero out a real count. Report the raw value,
+      // unscaled.
+    } else if (running == 0) {
+      // Enabled but never scheduled: with other PMU users the kernel may
+      // not have multiplexed us in at all. No basis for an estimate.
+      continue;
     } else if (running < enabled) {
       // Multiplexed: scale to the full interval, as perf stat does.
       double scaled = static_cast<double>(value) *
                       (static_cast<double>(enabled) /
                        static_cast<double>(running));
       value = static_cast<uint64_t>(scaled + 0.5);
+      sample.scaled[e] = true;
     }
     sample.value[e] = value;
     sample.valid[e] = true;

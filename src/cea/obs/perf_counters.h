@@ -40,12 +40,16 @@ enum PerfEvent : int {
 // Stable snake_case name used as the JSON key ("cycles", "llc_misses", ...).
 const char* PerfEventName(int event);
 
-// Scaled counter deltas of one measurement interval. An event that could
-// not be opened, or that the kernel never scheduled during the interval,
-// has valid[e] == false (value 0).
+// Counter deltas of one measurement interval. An event that could not be
+// opened, or that the kernel never scheduled during the interval, has
+// valid[e] == false (value 0). scaled[e] is true when the value is a
+// multiplex estimate (scaled by time_enabled/time_running) rather than a
+// raw count; an interval whose time_enabled delta is zero is reported raw
+// and unscaled — scaling it would divide by zero or fabricate counts.
 struct PerfSample {
   std::array<uint64_t, kNumPerfEvents> value{};
   std::array<bool, kNumPerfEvents> valid{};
+  std::array<bool, kNumPerfEvents> scaled{};
 
   bool any_valid() const {
     for (bool v : valid) {
@@ -55,12 +59,13 @@ struct PerfSample {
   }
 
   // Event-wise sum; an event is valid in the total once any contribution
-  // was valid.
+  // was valid, and scaled once any contribution was an estimate.
   void Accumulate(const PerfSample& other) {
     for (int e = 0; e < kNumPerfEvents; ++e) {
       if (other.valid[e]) {
         value[e] += other.value[e];
         valid[e] = true;
+        if (other.scaled[e]) scaled[e] = true;
       }
     }
   }

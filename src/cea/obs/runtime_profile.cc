@@ -1,0 +1,248 @@
+#include "cea/obs/runtime_profile.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "cea/obs/json_writer.h"
+
+namespace cea::obs {
+
+namespace {
+
+void Indent(int levels, std::string* out) {
+  out->append(static_cast<size_t>(levels) * 2, ' ');
+}
+
+void AppendCounterValue(const RuntimeProfile::Counter& c, std::string* out) {
+  char buf[64];
+  switch (c.unit()) {
+    case RuntimeProfile::Unit::kDouble:
+      std::snprintf(buf, sizeof(buf), "%.4g", c.double_value());
+      break;
+    case RuntimeProfile::Unit::kNanos:
+      std::snprintf(buf, sizeof(buf), "%.3fms",
+                    static_cast<double>(c.value()) / 1e6);
+      break;
+    case RuntimeProfile::Unit::kBytes: {
+      double v = static_cast<double>(c.value());
+      if (v >= 1024.0 * 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.1fMiB", v / (1024.0 * 1024.0));
+      } else if (v >= 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.1fKiB", v / 1024.0);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%" PRId64 "B", c.value());
+      }
+      break;
+    }
+    case RuntimeProfile::Unit::kRows:
+    case RuntimeProfile::Unit::kNone:
+      std::snprintf(buf, sizeof(buf), "%" PRId64, c.value());
+      break;
+  }
+  out->append(buf);
+}
+
+}  // namespace
+
+void RuntimeProfile::Counter::SetDouble(double v) {
+  int64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "bit-cast width mismatch");
+  std::memcpy(&bits, &v, sizeof(bits));
+  value_.store(bits, std::memory_order_relaxed);
+}
+
+double RuntimeProfile::Counter::double_value() const {
+  int64_t bits = value_.load(std::memory_order_relaxed);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+RuntimeProfile* RuntimeProfile::GetOrCreateChild(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& child : children_) {
+    if (child->name_ == name) return child.get();
+  }
+  children_.push_back(std::make_unique<RuntimeProfile>(std::string(name)));
+  return children_.back().get();
+}
+
+RuntimeProfile::Counter* RuntimeProfile::AddCounter(std::string_view name,
+                                                    Unit unit, MergeOp op) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [n, c] : counters_) {
+    if (n == name) return c.get();
+  }
+  counters_.emplace_back(std::string(name),
+                         std::unique_ptr<Counter>(new Counter(unit, op)));
+  return counters_.back().second.get();
+}
+
+void RuntimeProfile::SetInfo(std::string_view key, std::string value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [k, v] : info_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  info_.emplace_back(std::string(key), std::move(value));
+}
+
+void RuntimeProfile::MergeFrom(const RuntimeProfile& other) {
+  // Snapshot other's structure under its lock, then apply under ours —
+  // never hold both (a concurrent A.MergeFrom(B) + B.MergeFrom(A) must
+  // not deadlock).
+  struct CounterSnap {
+    std::string name;
+    int64_t value;
+    Unit unit;
+    MergeOp op;
+  };
+  std::vector<CounterSnap> counters;
+  std::vector<std::pair<std::string, std::string>> info;
+  std::vector<const RuntimeProfile*> children;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    counters.reserve(other.counters_.size());
+    for (const auto& [n, c] : other.counters_) {
+      counters.push_back({n, c->value(), c->unit(), c->merge_op()});
+    }
+    info = other.info_;
+    children.reserve(other.children_.size());
+    for (const auto& child : other.children_) children.push_back(child.get());
+  }
+
+  for (const CounterSnap& snap : counters) {
+    // A counter the destination has never seen takes the source value
+    // verbatim — merging kMin/kMax against the fresh-counter default of 0
+    // would corrupt the aggregate.
+    const bool fresh = FindCounter(snap.name) == nullptr;
+    Counter* mine = AddCounter(snap.name, snap.unit, snap.op);
+    if (fresh) {
+      mine->Set(snap.value);
+      continue;
+    }
+    switch (mine->merge_op()) {
+      case MergeOp::kSum:
+        if (mine->unit() == Unit::kDouble) {
+          mine->SetDouble(mine->double_value() +
+                          [&] {
+                            double v;
+                            std::memcpy(&v, &snap.value, sizeof(v));
+                            return v;
+                          }());
+        } else {
+          mine->Add(snap.value);
+        }
+        break;
+      case MergeOp::kMax:
+        mine->Set(std::max(mine->value(), snap.value));
+        break;
+      case MergeOp::kMin:
+        mine->Set(std::min(mine->value(), snap.value));
+        break;
+    }
+  }
+  for (auto& [k, v] : info) SetInfo(k, v);
+  // Children of `other` belong to a profile the caller owns and must keep
+  // alive for the duration of the merge (true for the per-worker use:
+  // subtrees are merged after quiescence).
+  for (const RuntimeProfile* child : children) {
+    GetOrCreateChild(child->name_)->MergeFrom(*child);
+  }
+}
+
+RuntimeProfile::Counter* RuntimeProfile::FindCounter(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [n, c] : counters_) {
+    if (n == name) return c.get();
+  }
+  return nullptr;
+}
+
+RuntimeProfile* RuntimeProfile::FindChild(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& child : children_) {
+    if (child->name_ == name) return child.get();
+  }
+  return nullptr;
+}
+
+void RuntimeProfile::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  info_.clear();
+  children_.clear();
+}
+
+void RuntimeProfile::ToTextInternal(int indent, std::string* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Indent(indent, out);
+  *out += name_;
+  *out += ":\n";
+  for (const auto& [k, v] : info_) {
+    Indent(indent + 1, out);
+    *out += k;
+    *out += ": ";
+    *out += v;
+    *out += '\n';
+  }
+  for (const auto& [n, c] : counters_) {
+    Indent(indent + 1, out);
+    *out += "- ";
+    *out += n;
+    *out += ": ";
+    AppendCounterValue(*c, out);
+    *out += '\n';
+  }
+  for (const auto& child : children_) {
+    child->ToTextInternal(indent + 1, out);
+  }
+}
+
+std::string RuntimeProfile::ToText() const {
+  std::string out;
+  ToTextInternal(0, &out);
+  return out;
+}
+
+void RuntimeProfile::ToJson(JsonWriter* w) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  w->BeginObject();
+  w->Key("name").String(name_);
+  if (!info_.empty()) {
+    w->Key("info").BeginObject();
+    for (const auto& [k, v] : info_) w->Key(k).String(v);
+    w->EndObject();
+  }
+  if (!counters_.empty()) {
+    w->Key("counters").BeginObject();
+    for (const auto& [n, c] : counters_) {
+      w->Key(n);
+      if (c->unit() == Unit::kDouble) {
+        w->Double(c->double_value());
+      } else {
+        w->Int(c->value());
+      }
+    }
+    w->EndObject();
+  }
+  if (!children_.empty()) {
+    w->Key("children").BeginArray();
+    for (const auto& child : children_) child->ToJson(w);
+    w->EndArray();
+  }
+  w->EndObject();
+}
+
+std::string RuntimeProfile::ToJson() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.str();
+}
+
+}  // namespace cea::obs

@@ -1,0 +1,275 @@
+// MetricRegistry + HistogramMetric: bucket math, exact count conservation
+// under concurrent record/merge/snapshot (TSan coverage), percentile
+// monotonicity and error bounds, Prometheus text shape, JSON snapshots,
+// and the JSONL sink.
+
+#include "cea/obs/metrics.h"
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cea/obs/json_writer.h"
+#include "gtest/gtest.h"
+
+namespace cea::obs {
+namespace {
+
+TEST(Histogram, BucketIndexIsExactBelowSubBuckets) {
+  for (uint64_t v = 0; v < HistogramMetric::kSubBuckets; ++v) {
+    EXPECT_EQ(HistogramMetric::BucketIndex(v), static_cast<int>(v));
+    EXPECT_EQ(HistogramMetric::BucketUpperBound(static_cast<int>(v)), v);
+  }
+}
+
+TEST(Histogram, BucketsPartitionTheValueRange) {
+  // Upper bounds are strictly increasing and every probe value maps to a
+  // bucket whose range contains it.
+  uint64_t prev = 0;
+  for (int i = 1; i < HistogramMetric::kNumBuckets; ++i) {
+    uint64_t ub = HistogramMetric::BucketUpperBound(i);
+    EXPECT_GT(ub, prev) << "bucket " << i;
+    prev = ub;
+  }
+  std::mt19937_64 rng(7);
+  for (int t = 0; t < 100000; ++t) {
+    uint64_t v = rng() >> (rng() % 64);
+    int idx = HistogramMetric::BucketIndex(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, HistogramMetric::kNumBuckets);
+    EXPECT_LE(v, HistogramMetric::BucketUpperBound(idx));
+    if (idx > 0) {
+      EXPECT_GT(v, HistogramMetric::BucketUpperBound(idx - 1));
+    }
+  }
+}
+
+TEST(Histogram, RelativeErrorIsBounded) {
+  // The representative (bucket upper bound) overestimates by at most
+  // 1/kHalf ≈ 3.2%.
+  std::mt19937_64 rng(11);
+  for (int t = 0; t < 100000; ++t) {
+    uint64_t v = (rng() >> (rng() % 50)) + 1;
+    uint64_t rep = HistogramMetric::BucketUpperBound(
+        HistogramMetric::BucketIndex(v));
+    EXPECT_GE(rep, v);
+    EXPECT_LE(static_cast<double>(rep - v),
+              static_cast<double>(v) / HistogramMetric::kHalf +
+                  1.0)
+        << "v=" << v << " rep=" << rep;
+  }
+}
+
+TEST(Histogram, QuantilesOnKnownDistribution) {
+  HistogramMetric h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  HistogramMetric::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.TotalCount(), 1000u);
+  EXPECT_EQ(s.sum, 1000u * 1001u / 2);
+
+  // Quantiles report the bucket upper bound: never below the true value,
+  // at most ~3.2% above.
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    uint64_t truth = q == 0.0 ? 1 : static_cast<uint64_t>(q * 1000);
+    uint64_t est = s.ValueAtQuantile(q);
+    EXPECT_GE(est, truth) << "q=" << q;
+    EXPECT_LE(static_cast<double>(est),
+              static_cast<double>(truth) * 1.04 + 1.0)
+        << "q=" << q;
+  }
+  // Monotone in q.
+  uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    uint64_t v = s.ValueAtQuantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_EQ(HistogramMetric::Snapshot{}.ValueAtQuantile(0.5), 0u);
+}
+
+// The satellite requirement: N threads x 1M records with concurrent
+// snapshotting; after the join, the merged per-thread histograms hold
+// exactly N*1M values and quantiles are monotone. Run under TSan in CI.
+TEST(Histogram, ConcurrentRecordMergeSnapshot) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 1'000'000;
+
+  std::vector<std::unique_ptr<HistogramMetric>> hists;
+  for (int t = 0; t < kThreads; ++t) {
+    hists.push_back(std::make_unique<HistogramMetric>());
+  }
+  HistogramMetric shared;
+
+  std::atomic<bool> stop{false};
+  // A reader thread snapshots and merges while writers are recording:
+  // snapshots are racy-but-consistent (no torn counts, totals only grow).
+  std::thread reader([&] {
+    uint64_t last_total = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      HistogramMetric::Snapshot s = shared.TakeSnapshot();
+      uint64_t total = s.TotalCount();
+      EXPECT_GE(total, last_total);
+      last_total = total;
+      uint64_t prev = 0;
+      for (double q : {0.5, 0.95, 0.99}) {
+        uint64_t v = s.ValueAtQuantile(q);
+        EXPECT_GE(v, prev);
+        prev = v;
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      std::mt19937_64 rng(1000 + t);
+      HistogramMetric& mine = *hists[t];
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        uint64_t v = rng() % 1'000'000;
+        mine.Record(v);
+        shared.Record(v);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  // Exact count conservation across the merge.
+  HistogramMetric::Snapshot merged;
+  uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    HistogramMetric::Snapshot s = hists[t]->TakeSnapshot();
+    EXPECT_EQ(s.TotalCount(), kPerThread);
+    expected_sum += s.sum;
+    merged.Merge(s);
+  }
+  EXPECT_EQ(merged.TotalCount(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(merged.sum, expected_sum);
+
+  // The shared histogram saw the identical value stream.
+  HistogramMetric::Snapshot shared_snap = shared.TakeSnapshot();
+  EXPECT_EQ(shared_snap.TotalCount(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(shared_snap.sum, merged.sum);
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_EQ(shared_snap.ValueAtQuantile(q), merged.ValueAtQuantile(q));
+  }
+}
+
+TEST(MetricRegistry, RegistrationIsIdempotent) {
+  MetricRegistry reg;
+  CounterMetric* c1 = reg.RegisterCounter("cea_test_total", "help");
+  CounterMetric* c2 = reg.RegisterCounter("cea_test_total", "other help");
+  EXPECT_EQ(c1, c2);
+  GaugeMetric* g1 = reg.RegisterGauge("cea_test_gauge", "");
+  GaugeMetric* g2 = reg.RegisterGauge("cea_test_gauge", "");
+  EXPECT_EQ(g1, g2);
+  HistogramMetric* h1 = reg.RegisterHistogram("cea_test_us", "");
+  HistogramMetric* h2 = reg.RegisterHistogram("cea_test_us", "");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricRegistry, PrometheusTextShape) {
+  MetricRegistry reg;
+  reg.RegisterCounter("cea_q_total", "Total queries")->Increment(3);
+  reg.RegisterGauge("cea_used_bytes", "Bytes in use")->Set(1.5e6);
+  reg.RegisterCallbackGauge("cea_cb_gauge", "Callback", [] { return 2.5; });
+  HistogramMetric* h = reg.RegisterHistogram("cea_lat_us", "Latency");
+  h->Record(3);
+  h->Record(100);
+  h->Record(5000);
+
+  std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("# HELP cea_q_total Total queries\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cea_q_total counter\ncea_q_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cea_used_bytes gauge\ncea_used_bytes 1500000\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cea_cb_gauge 2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cea_lat_us histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("cea_lat_us_bucket{le=\"3\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("cea_lat_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cea_lat_us_sum 5103\n"), std::string::npos);
+  EXPECT_NE(text.find("cea_lat_us_count 3\n"), std::string::npos);
+
+  // Cumulative bucket counts never decrease.
+  uint64_t prev = 0;
+  size_t pos = 0;
+  while ((pos = text.find("cea_lat_us_bucket{le=", pos)) !=
+         std::string::npos) {
+    size_t sp = text.find("} ", pos);
+    uint64_t count = std::strtoull(text.c_str() + sp + 2, nullptr, 10);
+    EXPECT_GE(count, prev);
+    prev = count;
+    pos = sp;
+  }
+}
+
+TEST(MetricRegistry, JsonSnapshotIsValidAndCarriesPercentiles) {
+  MetricRegistry reg;
+  reg.RegisterCounter("cea_n_total", "")->Increment(7);
+  HistogramMetric* h = reg.RegisterHistogram("cea_lat_us", "");
+  for (uint64_t v = 1; v <= 100; ++v) h->Record(v);
+
+  std::string json = reg.JsonSnapshot();
+  EXPECT_TRUE(JsonLooksValid(json)) << json;
+  EXPECT_NE(json.find("\"cea_n_total\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST(MetricRegistry, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricRegistry::Global(), &MetricRegistry::Global());
+  // Process gauges register idempotently.
+  RegisterProcessMetrics(&MetricRegistry::Global());
+  RegisterProcessMetrics(&MetricRegistry::Global());
+  std::string text = MetricRegistry::Global().PrometheusText();
+  EXPECT_NE(text.find("cea_mem_budget_used_bytes"), std::string::npos);
+  size_t first = text.find("# TYPE cea_mem_budget_used_bytes");
+  EXPECT_EQ(text.find("# TYPE cea_mem_budget_used_bytes", first + 1),
+            std::string::npos);
+}
+
+TEST(JsonlMetricSink, WritesFinalSnapshotOnStop) {
+  MetricRegistry reg;
+  reg.RegisterCounter("cea_sink_total", "")->Increment(5);
+  std::string path = ::testing::TempDir() + "/metrics_sink_test.jsonl";
+  std::remove(path.c_str());
+  {
+    JsonlMetricSink sink(&reg, path, /*period_ms=*/50);
+    ASSERT_TRUE(sink.ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    sink.Stop();
+    EXPECT_GE(sink.snapshots_written(), 1u);  // final snapshot at minimum
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[4096];
+  int lines = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++lines;
+    EXPECT_TRUE(JsonLooksValid(line)) << line;
+    EXPECT_NE(std::string(line).find("\"cea_sink_total\":5"),
+              std::string::npos);
+  }
+  std::fclose(f);
+  EXPECT_GE(lines, 1);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlMetricSink, BadPathFailsConstruction) {
+  MetricRegistry reg;
+  JsonlMetricSink sink(&reg, "/nonexistent_dir_zz/x.jsonl", 100);
+  EXPECT_FALSE(sink.ok());
+}
+
+}  // namespace
+}  // namespace cea::obs

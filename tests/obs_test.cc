@@ -50,6 +50,27 @@ TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
   EXPECT_EQ(w.str(), "[null,null,null]");
 }
 
+TEST(JsonWriter, NonFiniteDoublesBecomeNullInObjectValues) {
+  // Regression coverage for every double position: an object value after
+  // Key(), interleaved with finite values, and nested containers — the
+  // output must stay structurally valid with `null` in place, never an
+  // "inf"/"nan" token (which JSON does not have).
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("nan").Double(std::nan(""));
+  w.Key("ok").Double(1.5);
+  w.Key("inf").Double(INFINITY);
+  w.Key("nested").BeginArray();
+  w.BeginObject().Key("ninf").Double(-INFINITY).EndObject();
+  w.Double(2.0);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"nan\":null,\"ok\":1.5,\"inf\":null,"
+            "\"nested\":[{\"ninf\":null},2]}");
+  EXPECT_TRUE(JsonLooksValid(w.str()));
+}
+
 TEST(JsonWriter, EscapesControlAndSpecialCharacters) {
   EXPECT_EQ(JsonEscape("plain"), "plain");
   EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
@@ -189,6 +210,27 @@ TEST(PerfCounters, SampleAccumulateMergesValues) {
   EXPECT_TRUE(a.valid[kInstructions]);
   EXPECT_EQ(a.value[kInstructions], 7u);
   EXPECT_FALSE(a.valid[kLLCMisses]);
+}
+
+TEST(PerfCounters, AccumulatePropagatesScaledMarker) {
+  // Once any interval's contribution was a multiplex estimate, the total
+  // is marked scaled for that event; raw-only events stay unscaled.
+  PerfSample a, b;
+  a.value[kCycles] = 10;
+  a.valid[kCycles] = true;  // raw
+  b.value[kCycles] = 5;
+  b.valid[kCycles] = true;
+  b.scaled[kCycles] = true;  // estimate
+  b.value[kInstructions] = 7;
+  b.valid[kInstructions] = true;  // raw
+  a.Accumulate(b);
+  EXPECT_TRUE(a.scaled[kCycles]);
+  EXPECT_FALSE(a.scaled[kInstructions]);
+  // An invalid contribution never sets the marker.
+  PerfSample c;
+  c.scaled[kLLCMisses] = true;  // but valid stays false
+  a.Accumulate(c);
+  EXPECT_FALSE(a.scaled[kLLCMisses]);
 }
 
 TEST(WorkerCounters, TakeTotalDrains) {

@@ -1,0 +1,181 @@
+// RuntimeProfile: tree construction, unit-aware rendering, deterministic
+// ordering, and — the production-critical path — merging per-worker
+// subtrees into one aggregate under concurrency.
+
+#include "cea/obs/runtime_profile.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cea/obs/json_writer.h"
+#include "gtest/gtest.h"
+
+namespace cea::obs {
+namespace {
+
+using Unit = RuntimeProfile::Unit;
+using MergeOp = RuntimeProfile::MergeOp;
+
+TEST(RuntimeProfile, CountersAndChildrenAreCreatedOnce) {
+  RuntimeProfile root("query");
+  RuntimeProfile::Counter* a = root.AddCounter("rows", Unit::kRows);
+  RuntimeProfile::Counter* b = root.AddCounter("rows", Unit::kBytes);
+  EXPECT_EQ(a, b);  // first creation wins, including the unit
+  EXPECT_EQ(a->unit(), Unit::kRows);
+
+  RuntimeProfile* c1 = root.GetOrCreateChild("pass");
+  RuntimeProfile* c2 = root.GetOrCreateChild("pass");
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(root.FindChild("pass"), c1);
+  EXPECT_EQ(root.FindChild("absent"), nullptr);
+  EXPECT_EQ(root.FindCounter("absent"), nullptr);
+}
+
+TEST(RuntimeProfile, TextRenderingIsInsertionOrderedAndUnitAware) {
+  RuntimeProfile root("query");
+  root.SetInfo("policy", "ADAPTIVE");
+  root.AddCounter("rows", Unit::kRows)->Set(123);
+  root.AddCounter("bytes", Unit::kBytes)->Set(2048);
+  root.AddCounter("time", Unit::kNanos)->Set(1500000);  // 1.5 ms
+  root.AddCounter("ratio", Unit::kDouble)->SetDouble(2.5);
+  RuntimeProfile* child = root.GetOrCreateChild("memory");
+  child->AddCounter("peak_bytes", Unit::kBytes)->Set(3 * 1024 * 1024);
+
+  std::string text = root.ToText();
+  EXPECT_EQ(text,
+            "query:\n"
+            "  policy: ADAPTIVE\n"
+            "  - rows: 123\n"
+            "  - bytes: 2.0KiB\n"
+            "  - time: 1.500ms\n"
+            "  - ratio: 2.5\n"
+            "  memory:\n"
+            "    - peak_bytes: 3.0MiB\n");
+}
+
+TEST(RuntimeProfile, JsonNestsAndValidates) {
+  RuntimeProfile root("query");
+  root.SetInfo("policy", "ADAPTIVE");
+  root.AddCounter("rows", Unit::kRows)->Set(7);
+  root.AddCounter("alpha", Unit::kDouble)->SetDouble(1.25);
+  root.GetOrCreateChild("strategy")->AddCounter("switches")->Set(2);
+
+  std::string json = root.ToJson();
+  EXPECT_TRUE(JsonLooksValid(json)) << json;
+  EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"policy\":\"ADAPTIVE\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"alpha\":1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"children\":[{\"name\":\"strategy\""),
+            std::string::npos);
+}
+
+TEST(RuntimeProfile, MergeFromCombinesPerWorkerSubtrees) {
+  // The operator's shape: each worker contributes an identical tree and
+  // the aggregate folds them — kSum accumulates, kMax keeps the skew
+  // signal, info overwrites, children merge by name.
+  auto make_worker = [](int64_t morsels, int64_t peak) {
+    auto p = std::make_unique<RuntimeProfile>("workers");
+    p->AddCounter("morsels")->Set(morsels);
+    p->AddCounter("morsels_max", Unit::kNone, MergeOp::kMax)->Set(morsels);
+    p->AddCounter("min_level", Unit::kNone, MergeOp::kMin)->Set(morsels);
+    RuntimeProfile* mem = p->GetOrCreateChild("memory");
+    mem->AddCounter("peak_bytes", Unit::kBytes, MergeOp::kMax)->Set(peak);
+    return p;
+  };
+
+  RuntimeProfile agg("workers");
+  agg.MergeFrom(*make_worker(10, 100));
+  agg.MergeFrom(*make_worker(30, 50));
+  agg.MergeFrom(*make_worker(20, 75));
+
+  EXPECT_EQ(agg.FindCounter("morsels")->value(), 60);
+  EXPECT_EQ(agg.FindCounter("morsels_max")->value(), 30);
+  EXPECT_EQ(agg.FindCounter("min_level")->value(), 10);
+  RuntimeProfile* mem = agg.FindChild("memory");
+  ASSERT_NE(mem, nullptr);
+  EXPECT_EQ(mem->FindCounter("peak_bytes")->value(), 100);
+}
+
+TEST(RuntimeProfile, MergeFromSumsDoubleCounters) {
+  RuntimeProfile a("n"), b("n");
+  a.AddCounter("alpha", Unit::kDouble)->SetDouble(1.5);
+  b.AddCounter("alpha", Unit::kDouble)->SetDouble(2.25);
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.FindCounter("alpha")->double_value(), 3.75);
+}
+
+TEST(RuntimeProfile, ClearDropsEverything) {
+  RuntimeProfile root("query");
+  root.AddCounter("rows")->Set(1);
+  root.SetInfo("k", "v");
+  root.GetOrCreateChild("child");
+  root.Clear();
+  EXPECT_EQ(root.FindCounter("rows"), nullptr);
+  EXPECT_EQ(root.FindChild("child"), nullptr);
+  EXPECT_EQ(root.ToText(), "query:\n");
+}
+
+// Concurrent workers bump counters of a shared node while other threads
+// create children and one thread merges worker subtrees — the pattern the
+// operator and scheduler produce. Run under TSan in CI.
+TEST(RuntimeProfile, ConcurrentUpdatesAndMerges) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+
+  RuntimeProfile root("query");
+  RuntimeProfile::Counter* shared =
+      root.AddCounter("shared", Unit::kNone, MergeOp::kSum);
+
+  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<RuntimeProfile>> locals;
+  for (int t = 0; t < kThreads; ++t) {
+    locals.push_back(std::make_unique<RuntimeProfile>("worker"));
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      RuntimeProfile* mine = locals[t].get();
+      RuntimeProfile::Counter* local = mine->AddCounter("count");
+      for (int i = 0; i < kIters; ++i) {
+        shared->Add(1);
+        local->Add(1);
+        if (i % 1000 == 0) {
+          root.GetOrCreateChild("child_" + std::to_string(t))
+              ->AddCounter("touch")
+              ->Add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  RuntimeProfile agg("worker");
+  for (auto& l : locals) agg.MergeFrom(*l);
+
+  EXPECT_EQ(shared->value(), int64_t{kThreads} * kIters);
+  EXPECT_EQ(agg.FindCounter("count")->value(), int64_t{kThreads} * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    RuntimeProfile* c = root.FindChild("child_" + std::to_string(t));
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->FindCounter("touch")->value(), kIters / 1000);
+  }
+}
+
+TEST(RuntimeProfile, ScopedTimerAccumulates) {
+  RuntimeProfile root("query");
+  RuntimeProfile::Counter* timer = root.AddCounter("t", Unit::kNanos);
+  {
+    RuntimeProfile::ScopedTimer st(timer);
+  }
+  {
+    RuntimeProfile::ScopedTimer st(timer);
+  }
+  EXPECT_GE(timer->value(), 0);
+  // Null counter is a no-op, not a crash.
+  { RuntimeProfile::ScopedTimer st(nullptr); }
+}
+
+}  // namespace
+}  // namespace cea::obs

@@ -180,6 +180,7 @@ TEST(Stats, MergeAccumulatesEveryField) {
     s.distinct_shortcut_runs = base + 7;
     s.fallback_buckets = base + 8;
     s.passes = base + 9;
+    s.morsels = base + 14;
     s.chunks_allocated = base + 11;
     s.chunks_recycled = base + 12;
     s.mem_peak_bytes = base + 13;
@@ -207,6 +208,7 @@ TEST(Stats, MergeAccumulatesEveryField) {
   EXPECT_EQ(a.distinct_shortcut_runs, 1007u + 38u);
   EXPECT_EQ(a.fallback_buckets, 1008u + 39u);
   EXPECT_EQ(a.passes, 1009u + 40u);
+  EXPECT_EQ(a.morsels, 1014u + 45u);
   EXPECT_EQ(a.chunks_allocated, 1011u + 42u);
   EXPECT_EQ(a.chunks_recycled, 1012u + 43u);
   EXPECT_EQ(a.mem_peak_bytes, 1013u);  // max, not sum: process-wide peak

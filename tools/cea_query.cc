@@ -37,6 +37,17 @@
 //                                 hardware counters when available)
 //   --trace=PATH                  write a Chrome trace-event file of every
 //                                 pass (open in Perfetto / chrome://tracing)
+//   --profile                     print the hierarchical runtime profile of
+//                                 the execution as an indented tree on
+//                                 stdout; with --stats=json the same tree
+//                                 also nests under the "profile" key
+//   --metrics[=PATH]              dump the process metric registry in
+//                                 Prometheus text format after the query
+//                                 (stdout, or PATH when given)
+//   --metrics_jsonl=PATH [--metrics_period_ms=N]
+//                                 append periodic JSONL metric snapshots to
+//                                 PATH while the query runs (default period
+//                                 250 ms; a final snapshot always lands)
 
 #include <cstdio>
 #include <cstring>
@@ -44,11 +55,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "cea/common/flags.h"
 #include "cea/core/aggregation_operator.h"
 #include "cea/core/stats_io.h"
 #include "cea/datagen/generators.h"
 #include "cea/obs/json_writer.h"
+#include "cea/obs/metrics.h"
 #include "cea/obs/obs.h"
 #include "cea/simd/dispatch.h"
 
@@ -230,13 +244,35 @@ int main(int argc, char** argv) {
   input.num_rows = keys.size();
 
   // Observability: --trace needs spans, --stats=json benefits from
-  // counters; either flag attaches the context.
+  // counters, --profile needs the runtime profile; any of them attaches
+  // the context.
   const bool stats_json = flags.GetString("stats", "") == "json";
   const std::string trace_path = flags.GetString("trace", "");
+  const bool want_profile = flags.Has("profile");
   cea::obs::ObsContext obs(cea::obs::ObsContext::Options{
       /*counters=*/stats_json || !trace_path.empty(),
-      /*trace=*/!trace_path.empty()});
-  if (stats_json || !trace_path.empty()) options.obs = &obs;
+      /*trace=*/!trace_path.empty(),
+      /*profile=*/want_profile || stats_json});
+  if (stats_json || !trace_path.empty() || want_profile) options.obs = &obs;
+
+  // Metrics exposition: register the process-wide gauges up front so the
+  // JSONL sink's very first snapshot already carries them.
+  const bool want_metrics = flags.Has("metrics");
+  const std::string metrics_jsonl = flags.GetString("metrics_jsonl", "");
+  if (want_metrics || !metrics_jsonl.empty()) {
+    cea::obs::RegisterProcessMetrics(&cea::obs::MetricRegistry::Global());
+  }
+  std::unique_ptr<cea::obs::JsonlMetricSink> metric_sink;
+  if (!metrics_jsonl.empty()) {
+    metric_sink = std::make_unique<cea::obs::JsonlMetricSink>(
+        &cea::obs::MetricRegistry::Global(), metrics_jsonl,
+        static_cast<int64_t>(flags.GetUint("metrics_period_ms", 250)));
+    if (!metric_sink->ok()) {
+      std::fprintf(stderr, "metrics: cannot write %s\n",
+                   metrics_jsonl.c_str());
+      return 1;
+    }
+  }
 
   cea::AggregationOperator op(specs, options);
   cea::ResultTable result;
@@ -249,6 +285,12 @@ int main(int argc, char** argv) {
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.message().c_str());
     return 1;
+  }
+  if (want_metrics || metric_sink != nullptr) {
+    cea::obs::MetricRegistry::Global()
+        .RegisterHistogram("cea_query_latency_us",
+                           "End-to-end query latency in microseconds")
+        ->Record(static_cast<uint64_t>(sec * 1e6));
   }
 
   std::fprintf(stderr,
@@ -269,10 +311,37 @@ int main(int argc, char** argv) {
     w.Key("machine").Raw(cea::MachineInfoToJson(options.machine));
     w.Key("stats").Raw(cea::ExecStatsToJson(stats));
     w.Key("counters").Raw(cea::PerfSampleToJson(obs.counter_totals()));
+    w.Key("profile");
+    obs.profile().ToJson(&w);
     w.EndObject();
     std::printf("%s\n", w.str().c_str());
   } else if (flags.Has("stats")) {
     std::fprintf(stderr, "%s", cea::FormatExecStats(stats).c_str());
+  }
+  // With --stats=json the profile is already nested in the JSON document;
+  // printing the text tree too would corrupt stdout for JSON consumers.
+  if (want_profile && !stats_json) {
+    std::string tree = obs.profile().ToText();
+    std::fwrite(tree.data(), 1, tree.size(), stdout);
+  }
+  if (metric_sink != nullptr) metric_sink->Stop();
+  if (want_metrics) {
+    std::string text = cea::obs::MetricRegistry::Global().PrometheusText();
+    std::string metrics_path = flags.GetString("metrics", "");
+    // Bare --metrics parses as "1": dump to stdout (same convention as
+    // BenchReporter's --json).
+    if (metrics_path.empty() || metrics_path == "1") {
+      std::fwrite(text.data(), 1, text.size(), stdout);
+    } else {
+      std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "metrics: cannot write %s\n",
+                     metrics_path.c_str());
+        return 1;
+      }
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+    }
   }
   if (!trace_path.empty()) {
     if (obs.trace().WriteChromeJson(trace_path)) {

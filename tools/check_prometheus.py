@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition (v0.0.4) document.
+
+promtool-style structural checks, self-contained so CI needs no extra
+packages:
+
+  * every line is blank, a comment, `# HELP`, `# TYPE`, or a sample
+  * metric and label names match the Prometheus grammar
+  * TYPE is one of counter/gauge/histogram/summary/untyped, appears at
+    most once per family, and precedes that family's first sample
+  * HELP appears at most once per family
+  * all samples of a family are contiguous (no interleaving)
+  * sample values parse as Go floats (including NaN, +Inf, -Inf)
+  * histogram families expose `_bucket` series with an `le` label, a
+    `+Inf` bucket, non-decreasing cumulative counts, `_sum`, and a
+    `_count` equal to the `+Inf` bucket
+
+Usage:
+  check_prometheus.py FILE          lint a file ("-" = stdin)
+  check_prometheus.py --run CMD...  run CMD and lint its stdout
+
+Exit status 0 when clean; 1 with one error per line otherwise.
+"""
+
+import re
+import subprocess
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+# label string with \\, \", \n escapes
+LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\[\\"n])*)"')
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)(?:\s+(-?\d+))?$")
+
+
+def parse_value(text):
+    if text in ("NaN", "+Inf", "-Inf", "Inf"):
+        return float(text.replace("Inf", "inf"))
+    return float(text)
+
+
+def parse_labels(raw, errors, lineno):
+    """Parse `{a="b",c="d"}` into a dict, recording syntax errors."""
+    inner = raw[1:-1].strip()
+    labels = {}
+    if not inner:
+        return labels
+    pos = 0
+    while pos < len(inner):
+        m = LABEL_RE.match(inner, pos)
+        if not m:
+            errors.append(f"line {lineno}: bad label syntax at '{inner[pos:]}'")
+            return labels
+        labels[m.group(1)] = m.group(2)
+        pos = m.end()
+        if pos < len(inner):
+            if inner[pos] != ",":
+                errors.append(f"line {lineno}: expected ',' in labels")
+                return labels
+            pos += 1
+    return labels
+
+
+def family_of(sample_name, typed):
+    """Map a series name to its family, honouring histogram suffixes."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+        if base and typed.get(base) in ("histogram", "summary"):
+            return base
+    return sample_name
+
+
+def lint(text):
+    errors = []
+    typed = {}      # family -> type
+    helped = set()  # families with a HELP line
+    seen_samples = {}   # family -> list of (labels, value, lineno)
+    closed = set()  # families whose sample block has ended
+    current_family = None
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not METRIC_NAME.match(parts[2]):
+                    errors.append(f"line {lineno}: malformed {parts[1]} line")
+                    continue
+                name = parts[2]
+                if parts[1] == "HELP":
+                    if name in helped:
+                        errors.append(f"line {lineno}: duplicate HELP for {name}")
+                    helped.add(name)
+                else:
+                    kind = parts[3].strip() if len(parts) == 4 else ""
+                    if kind not in TYPES:
+                        errors.append(
+                            f"line {lineno}: TYPE {name} has invalid type "
+                            f"'{kind}'")
+                    if name in typed:
+                        errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                    if name in seen_samples:
+                        errors.append(
+                            f"line {lineno}: TYPE {name} after its samples")
+                    typed[name] = kind
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, raw_labels, raw_value = m.group(1), m.group(2), m.group(3)
+        labels = parse_labels(raw_labels, errors, lineno) if raw_labels else {}
+        for lname in labels:
+            if not LABEL_NAME.match(lname) or lname.startswith("__"):
+                errors.append(f"line {lineno}: bad label name '{lname}'")
+        try:
+            value = parse_value(raw_value)
+        except ValueError:
+            errors.append(f"line {lineno}: bad value '{raw_value}'")
+            continue
+
+        family = family_of(name, typed)
+        if family != current_family:
+            if family in closed:
+                errors.append(
+                    f"line {lineno}: samples of {family} are not contiguous")
+            if current_family is not None:
+                closed.add(current_family)
+            current_family = family
+        seen_samples.setdefault(family, []).append((name, labels, value, lineno))
+
+    # Histogram shape checks.
+    for family, kind in typed.items():
+        if kind != "histogram":
+            continue
+        series = seen_samples.get(family, [])
+        buckets = [(lb, v, ln) for (n, lb, v, ln) in series
+                   if n == family + "_bucket"]
+        sums = [v for (n, lb, v, ln) in series if n == family + "_sum"]
+        counts = [v for (n, lb, v, ln) in series if n == family + "_count"]
+        if not buckets:
+            errors.append(f"histogram {family}: no _bucket series")
+            continue
+        prev = -1.0
+        inf_value = None
+        for labels, value, lineno in buckets:
+            le = labels.get("le")
+            if le is None:
+                errors.append(
+                    f"line {lineno}: {family}_bucket missing 'le' label")
+                continue
+            if value < prev:
+                errors.append(
+                    f"line {lineno}: {family}_bucket le={le} count {value} "
+                    f"below previous bucket {prev} (not cumulative)")
+            prev = value
+            if le == "+Inf":
+                inf_value = value
+        if inf_value is None:
+            errors.append(f"histogram {family}: missing le=\"+Inf\" bucket")
+        if not sums:
+            errors.append(f"histogram {family}: missing _sum")
+        if not counts:
+            errors.append(f"histogram {family}: missing _count")
+        elif inf_value is not None and counts[0] != inf_value:
+            errors.append(
+                f"histogram {family}: _count {counts[0]} != +Inf bucket "
+                f"{inf_value}")
+
+    # Every sample family should be typed: untyped output is legal in the
+    # format but a lint error for our own exposition.
+    for family in seen_samples:
+        if family not in typed:
+            errors.append(f"metric {family}: no TYPE line")
+
+    return errors, sum(len(v) for v in seen_samples.values())
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--run":
+        if len(argv) < 3:
+            print("usage: check_prometheus.py --run CMD [ARGS...]",
+                  file=sys.stderr)
+            return 2
+        proc = subprocess.run(argv[2:], stdout=subprocess.PIPE, text=True)
+        if proc.returncode != 0:
+            print(f"command failed with exit {proc.returncode}",
+                  file=sys.stderr)
+            return 1
+        # cea_query prints a human summary line before the exposition;
+        # lint only lines from the first comment/sample onward.
+        lines = proc.stdout.splitlines()
+        start = 0
+        for i, line in enumerate(lines):
+            if line.startswith("#") or METRIC_NAME.match(line.split(" ")[0]):
+                start = i
+                break
+        text = "\n".join(lines[start:])
+    elif len(argv) == 2:
+        text = (sys.stdin.read() if argv[1] == "-"
+                else open(argv[1], encoding="utf-8").read())
+    else:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    errors, num_samples = lint(text)
+    if errors:
+        for e in errors:
+            print(f"check_prometheus: {e}", file=sys.stderr)
+        return 1
+    if num_samples == 0:
+        print("check_prometheus: no samples found", file=sys.stderr)
+        return 1
+    print(f"check_prometheus: ok ({num_samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
