@@ -109,11 +109,12 @@ int main(int argc, char** argv) {
     if (!reporter.enabled()) std::printf("\n");
   }
   if (!trace_path.empty()) {
-    if (obs.trace().WriteChromeJson(trace_path)) {
+    cea::Status trace_status = obs.trace().WriteChromeJson(trace_path);
+    if (trace_status.ok()) {
       std::fprintf(stderr, "trace: %zu spans -> %s\n",
                    obs.trace().num_spans(), trace_path.c_str());
     } else {
-      std::fprintf(stderr, "trace: cannot write %s\n", trace_path.c_str());
+      std::fprintf(stderr, "error: %s\n", trace_status.message().c_str());
       return 1;
     }
   }

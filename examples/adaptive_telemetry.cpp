@@ -105,13 +105,14 @@ int main(int argc, char** argv) {
               "with no planner hints.\n");
 
   if (argc > 1) {
-    if (obs.trace().WriteChromeJson(argv[1])) {
+    cea::Status trace_status = obs.trace().WriteChromeJson(argv[1]);
+    if (trace_status.ok()) {
       std::printf("\nWrote %zu pass spans (all three queries) to %s — open "
                   "it in\nhttps://ui.perfetto.dev to see the per-worker "
                   "HASHING/PARTITIONING timeline.\n",
                   obs.trace().num_spans(), argv[1]);
     } else {
-      std::fprintf(stderr, "cannot write trace to %s\n", argv[1]);
+      std::fprintf(stderr, "%s\n", trace_status.message().c_str());
       return 1;
     }
   }

@@ -7,6 +7,7 @@
 
 #include "cea/common/bits.h"
 #include "cea/common/check.h"
+#include "cea/core/spill_manager.h"
 #include "cea/simd/dispatch.h"
 
 namespace cea {
@@ -164,6 +165,17 @@ Status AggregationOperator::ValidateSpecs(const InputTable& input) const {
 }
 
 void AggregationOperator::ResetExecutionState() {
+  // Dropping the previous manager closes its unlinked spill files, which
+  // is what reclaims their disk space — on success, error unwind, and
+  // (via the destructor) operator teardown alike.
+  spill_manager_.reset();
+  if (!options_.spill_dir.empty()) {
+    SpillManager::Config config;
+    config.dir = options_.spill_dir;
+    config.threshold = options_.spill_threshold;
+    spill_manager_ = std::make_unique<SpillManager>(config, key_words_,
+                                                    layout_, &control_);
+  }
   for (auto& f : worker_finals_) f.clear();
   for (auto& s : worker_stats_) s = ExecStats{};
   shortcut_finals_.clear();
@@ -181,9 +193,19 @@ void AggregationOperator::ResetExecutionState() {
   exec_start_ = std::chrono::steady_clock::now();
 }
 
-void AggregationOperator::CollectResult(ResultTable* result,
-                                        ExecStats* stats) {
-  AssembleResult(result);
+void AggregationOperator::EmitFinal(int worker_id, Run&& run) {
+  if (spill_manager_ != nullptr && run.size() != 0 &&
+      spill_manager_->ShouldSpill()) {
+    spill_manager_->SpillRun(SpillManager::kFinalKey, &run);
+    return;
+  }
+  worker_finals_[worker_id].push_back(std::move(run));
+}
+
+Status AggregationOperator::CollectResult(ResultTable* result,
+                                          ExecStats* stats) {
+  Status assembled = AssembleResult(result);
+  if (!assembled.ok()) return assembled;
   ExecStats merged;
   for (const ExecStats& s : worker_stats_) merged.Merge(s);
   merged.Merge(shortcut_stats_);
@@ -193,6 +215,11 @@ void AggregationOperator::CollectResult(ResultTable* result,
   merged.chunks_recycled =
       pool.recycled_chunks - pool_stats_base_.recycled_chunks;
   merged.mem_peak_bytes = MemoryBudget::Global().peak();
+  if (spill_manager_ != nullptr) {
+    merged.spilled_bytes = spill_manager_->bytes_written();
+    merged.spill_read_bytes = spill_manager_->bytes_read();
+    merged.spill_files = spill_manager_->files_created();
+  }
   merged.simd_tier = static_cast<int>(simd::ActiveTier());
   if (stats != nullptr) *stats = merged;
   if (options_.obs != nullptr && options_.obs->counters_enabled()) {
@@ -203,6 +230,7 @@ void AggregationOperator::CollectResult(ResultTable* result,
   if (options_.obs != nullptr && options_.obs->profile_enabled()) {
     FillProfile(merged);
   }
+  return Status::Ok();
 }
 
 void AggregationOperator::FillProfile(const ExecStats& merged) {
@@ -290,6 +318,22 @@ void AggregationOperator::FillProfile(const ExecStats& merged) {
   mem->AddCounter("chunks_recycled")
       ->Set(static_cast<int64_t>(merged.chunks_recycled));
 
+  // Spill subtree only when spilling is configured, so the default profile
+  // tree (pinned by check_profile_golden.py) is unchanged.
+  if (spill_manager_ != nullptr) {
+    obs::RuntimeProfile* spill = root.GetOrCreateChild("spill");
+    spill->SetInfo("dir", spill_manager_->dir());
+    spill->SetInfo("threshold", std::to_string(spill_manager_->threshold()));
+    spill->AddCounter("spilled_bytes", Unit::kBytes)
+        ->Set(static_cast<int64_t>(merged.spilled_bytes));
+    spill->AddCounter("read_bytes", Unit::kBytes)
+        ->Set(static_cast<int64_t>(merged.spill_read_bytes));
+    spill->AddCounter("files")
+        ->Set(static_cast<int64_t>(merged.spill_files));
+    spill->AddCounter("buckets_restored")
+        ->Set(static_cast<int64_t>(spill_manager_->buckets_restored()));
+  }
+
   // Worker nodes go through the real MergeFrom path: each worker's stats
   // become a one-node subtree, folded into an aggregate that keeps sums
   // plus a kMax skew signal. With one worker the aggregate equals it.
@@ -332,6 +376,7 @@ Status AggregationOperator::Execute(const InputTable& input,
   if (input.num_rows != 0) {
     ScheduleRootPass(input);
     Status e = scheduler_->WaitGroup(group_.get());
+    if (e.ok() && spill_manager_ != nullptr) e = DrainSpilledBuckets();
     if (!e.ok()) {
       RecoverExecutionState();
       control_.Disarm();
@@ -340,8 +385,9 @@ Status AggregationOperator::Execute(const InputTable& input,
   }
   control_.Disarm();
 
-  CollectResult(result, stats);
-  return Status::Ok();
+  Status collected = CollectResult(result, stats);
+  if (!collected.ok()) RecoverExecutionState();
+  return collected;
 }
 
 void AggregationOperator::RecoverExecutionState() {
@@ -381,7 +427,7 @@ Status AggregationOperator::BeginStream(int key_columns) {
   num_passes_.fetch_add(1, std::memory_order_relaxed);  // the level-0 pass
   stream_ctx_ = std::make_unique<PassContext>(
       layout_, *policy_, resources_[0].get(), /*level=*/0, &worker_stats_[0],
-      &control_);
+      &control_, spill_manager_.get(), /*pass_id=*/0);
   stream_rows_ = 0;
   streaming_ = true;
   return Status::Ok();
@@ -430,6 +476,10 @@ Status AggregationOperator::ConsumeBatch(const InputTable& batch) {
     // Cancellation/deadline unwound the batch loop; keep the typed code so
     // the caller can tell a cancelled stream from a crashed one.
     return MergeAbortStatus(AbortStream(), e.status());
+  } catch (const MemoryBudgetExceeded& e) {
+    // Budget exhaustion is an admission-class failure, not a crash.
+    return MergeAbortStatus(AbortStream(),
+                            Status::ResourceExhausted(e.what()));
   } catch (const std::exception& e) {
     // The PassContext is mid-row and unusable; close the stream.
     return MergeAbortStatus(
@@ -465,21 +515,24 @@ Status AggregationOperator::FinishStream(ResultTable* result,
     try {
       Run final_run(key_words_, layout_);
       if (stream_ctx_->Finalize(stream_rows_, &final_run)) {
-        worker_finals_[0].push_back(std::move(final_run));
+        EmitFinal(/*worker_id=*/0, std::move(final_run));
       } else {
         // Second code fragment: recurse into the buckets the stream
-        // produced.
+        // produced. The stream context ran as pass 0, so its spilled
+        // partitions live under PartitionKey(0, p).
         for (uint32_t p = 0; p < kFanOut; ++p) {
           Run& r = stream_ctx_->runs()[p];
-          if (!r.empty()) {
-            Bucket child;
-            child.push_back(std::move(r));
-            ScheduleBucket(std::move(child), /*level=*/1);
-          }
+          Bucket child;
+          if (!r.empty()) child.push_back(std::move(r));
+          DispatchBucket(/*parent_pass_id=*/0, p, std::move(child),
+                         /*level=*/1);
         }
       }
     } catch (const StatusError& e) {
       return MergeAbortStatus(AbortStream(), e.status());
+    } catch (const MemoryBudgetExceeded& e) {
+      return MergeAbortStatus(AbortStream(),
+                              Status::ResourceExhausted(e.what()));
     } catch (const std::exception& e) {
       return MergeAbortStatus(
           AbortStream(),
@@ -489,6 +542,7 @@ Status AggregationOperator::FinishStream(ResultTable* result,
           AbortStream(), "stream finalization failed: non-standard exception");
     }
     Status e = scheduler_->WaitGroup(group_.get());
+    if (e.ok() && spill_manager_ != nullptr) e = DrainSpilledBuckets();
     if (!e.ok()) {
       stream_ctx_.reset();
       RecoverExecutionState();
@@ -499,8 +553,9 @@ Status AggregationOperator::FinishStream(ResultTable* result,
   stream_ctx_.reset();
   control_.Disarm();
 
-  CollectResult(result, stats);
-  return Status::Ok();
+  Status collected = CollectResult(result, stats);
+  if (!collected.ok()) RecoverExecutionState();
+  return collected;
 }
 
 void AggregationOperator::ScheduleRootPass(const InputTable& input) {
@@ -581,7 +636,8 @@ void AggregationOperator::RunPassWorker(const std::shared_ptr<Pass>& pass,
                                             resources_[worker_id].get(),
                                             pass->level,
                                             &worker_stats_[worker_id],
-                                            &control_);
+                                            &control_, spill_manager_.get(),
+                                            pass->id);
       }
       ctx->ProcessMorsel(pass->morsels[i]);
     }
@@ -589,7 +645,7 @@ void AggregationOperator::RunPassWorker(const std::shared_ptr<Pass>& pass,
       span.set_rows(ctx->rows_processed());
       Run final_run(key_words_, layout_);
       if (ctx->Finalize(pass->total_rows, &final_run)) {
-        worker_finals_[worker_id].push_back(std::move(final_run));
+        EmitFinal(worker_id, std::move(final_run));
         ctx.reset();  // nothing left to collect
       } else {
         std::lock_guard<std::mutex> lock(pass->contexts_mutex);
@@ -617,12 +673,66 @@ void AggregationOperator::CompletePass(const std::shared_ptr<Pass>& pass) {
       Run& r = ctx->runs()[p];
       if (!r.empty()) child.push_back(std::move(r));
     }
-    if (!child.empty()) {
-      ScheduleBucket(std::move(child), pass->level + 1);
-    }
+    // Even an empty child must be dispatched: mid-pass spilling may have
+    // moved all of partition p's rows to its spill stream already.
+    DispatchBucket(pass->id, p, std::move(child), pass->level + 1);
   }
   pass->contexts.clear();
   pass->source.clear();  // release the parent level's run memory
+}
+
+void AggregationOperator::DispatchBucket(uint64_t parent_pass_id, uint32_t p,
+                                         Bucket child, int level) {
+  if (spill_manager_ != nullptr) {
+    const uint64_t key = SpillManager::PartitionKey(parent_pass_id, p);
+    const bool spilled = spill_manager_->HasSpilled(key);
+    // A lone distinct run is final output; spilling it would only force a
+    // re-aggregation of already-final rows.
+    const bool is_final = child.size() == 1 && child[0].distinct;
+    if (spilled || (!is_final && !child.empty() &&
+                    spill_manager_->ShouldSpill())) {
+      // The in-memory leftovers join the partition's stream so restore
+      // sees the complete bucket, then the bucket waits for the
+      // sequential drain phase instead of growing the resident set now.
+      for (Run& r : child) spill_manager_->SpillRun(key, &r);
+      spill_manager_->EnqueueBucket(key, level);
+      return;
+    }
+  }
+  if (!child.empty()) ScheduleBucket(std::move(child), level);
+}
+
+Status AggregationOperator::DrainSpilledBuckets() {
+  SpillManager::PendingBucket desc;
+  while (spill_manager_->TakePending(&desc)) {
+    // One bucket at a time: restore it, run its subtree to completion
+    // (which may spill deeper buckets back into the queue — levels
+    // strictly increase, so this terminates), then take the next. The
+    // queue is drained sequentially precisely so that only one spilled
+    // bucket's working set is resident at once.
+    try {
+      Run run(key_words_, layout_);
+      spill_manager_->Restore(desc, &run);
+      Bucket bucket;
+      bucket.push_back(std::move(run));
+      ScheduleBucket(std::move(bucket), desc.level);
+    } catch (const StatusError& e) {
+      return MergeAbortStatus(scheduler_->WaitGroup(group_.get()),
+                              e.status());
+    } catch (const MemoryBudgetExceeded& e) {
+      // Even a single bucket did not fit; surface the typed admission
+      // failure (the budget is simply too small to make progress).
+      return MergeAbortStatus(scheduler_->WaitGroup(group_.get()),
+                              Status::ResourceExhausted(e.what()));
+    } catch (const std::exception& e) {
+      return MergeAbortStatus(
+          scheduler_->WaitGroup(group_.get()),
+          std::string("spilled bucket restore failed: ") + e.what());
+    }
+    Status e = scheduler_->WaitGroup(group_.get());
+    if (!e.ok()) return e;
+  }
+  return Status::Ok();
 }
 
 void AggregationOperator::ScheduleBucket(Bucket bucket, int level) {
@@ -633,7 +743,15 @@ void AggregationOperator::ScheduleBucket(Bucket bucket, int level) {
   control_.ThrowIfCancelled();
   if (bucket.size() == 1 && bucket[0].distinct) {
     // A single fully-aggregated run with unique keys is final output; the
-    // recursion stops (Section 3.1).
+    // recursion stops (Section 3.1). Under latched pressure it moves to
+    // the spill manager's final-output stream instead of pinning chunks
+    // until assembly.
+    if (spill_manager_ != nullptr && spill_manager_->ShouldSpill()) {
+      spill_manager_->SpillRun(SpillManager::kFinalKey, &bucket[0]);
+      std::lock_guard<std::mutex> lock(shortcut_mutex_);
+      shortcut_stats_.distinct_shortcut_runs += 1;
+      return;
+    }
     std::lock_guard<std::mutex> lock(shortcut_mutex_);
     shortcut_stats_.distinct_shortcut_runs += 1;
     shortcut_finals_.push_back(std::move(bucket[0]));
@@ -702,11 +820,11 @@ void AggregationOperator::ScheduleExact(std::vector<Morsel> morsels,
     st.rows_hashed_at_level[l] += rows;
     st.seconds_at_level[l] += std::chrono::duration<double>(end - start).count();
     st.max_level = std::max(st.max_level, l);
-    worker_finals_[worker_id].push_back(std::move(final_run));
+    EmitFinal(worker_id, std::move(final_run));
   });
 }
 
-void AggregationOperator::AssembleResult(ResultTable* result) {
+Status AggregationOperator::AssembleResult(ResultTable* result) {
   result->keys.clear();
   result->extra_keys.clear();
   result->aggregates.clear();
@@ -722,6 +840,15 @@ void AggregationOperator::AssembleResult(ResultTable* result) {
   for (const Run& r : shortcut_finals_) {
     finals.push_back(&r);
     total += r.size();
+  }
+  // Final runs evacuated to disk under pressure: their segments hold
+  // disjoint group sets, so they are streamed straight into the result
+  // arrays below — the pooled run store (and thus the budget) is never
+  // touched on their way back.
+  std::vector<SpillManager::FinalSegment> spilled;
+  if (spill_manager_ != nullptr) {
+    spilled = spill_manager_->TakeFinalSegments();
+    for (const SpillManager::FinalSegment& seg : spilled) total += seg.rows;
   }
 
   result->keys.resize(total);
@@ -762,7 +889,43 @@ void AggregationOperator::AssembleResult(ResultTable* result) {
     }
     offset += r->size();
   }
+  for (const SpillManager::FinalSegment& seg : spilled) {
+    const size_t rows = static_cast<size_t>(seg.rows);
+    Status rs = spill_manager_->ReadSegmentColumn(seg, 0,
+                                                  result->keys.data() + offset);
+    if (!rs.ok()) return rs;
+    for (int w = 1; w < key_words_; ++w) {
+      rs = spill_manager_->ReadSegmentColumn(
+          seg, w, result->extra_keys[w - 1].data() + offset);
+      if (!rs.ok()) return rs;
+    }
+    for (size_t s = 0; s < layout_.specs.size(); ++s) {
+      const int off = layout_.word_offset[s];
+      ResultColumn& col = result->aggregates[s];
+      if (col.fn == AggFn::kAvg) {
+        std::vector<uint64_t> sums(rows), counts(rows);
+        rs = spill_manager_->ReadSegmentColumn(seg, key_words_ + off,
+                                               sums.data());
+        if (!rs.ok()) return rs;
+        rs = spill_manager_->ReadSegmentColumn(seg, key_words_ + off + 1,
+                                               counts.data());
+        if (!rs.ok()) return rs;
+        for (size_t i = 0; i < rows; ++i) {
+          col.f64[offset + i] = counts[i] == 0
+                                    ? 0.0
+                                    : static_cast<double>(sums[i]) /
+                                          static_cast<double>(counts[i]);
+        }
+      } else {
+        rs = spill_manager_->ReadSegmentColumn(seg, key_words_ + off,
+                                               col.u64.data() + offset);
+        if (!rs.ok()) return rs;
+      }
+    }
+    offset += rows;
+  }
   CEA_CHECK(offset == total);
+  return Status::Ok();
 }
 
 }  // namespace cea

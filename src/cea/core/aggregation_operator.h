@@ -40,6 +40,8 @@
 
 namespace cea {
 
+class SpillManager;
+
 // Pre-size hint for the growable table of an exact (fallback/final) pass
 // at `level`: the caller's k_hint scaled down by the fan-out of every
 // completed radix level, clamped to a floor — deep recursions would
@@ -77,6 +79,19 @@ struct AggregationOptions {
   // of fallback/final passes (the competitors of Section 6.4 *require*
   // this; ADAPTIVE never does).
   size_t k_hint = 0;
+
+  // Existing writable directory for spill files; empty disables spilling,
+  // in which case tripping the MemoryBudget fails the execution with
+  // kResourceExhausted. With a directory set and a non-zero budget limit,
+  // completed partition runs are written to unlinked temp files under
+  // pressure and streamed back bucket-by-bucket during recursion
+  // (spill_manager.h), so working sets far beyond the budget complete.
+  std::string spill_dir;
+  // Fraction of the budget limit that MemoryBudget::used() may reach
+  // before spilling starts (and, used() being monotone, stays on);
+  // checked at morsel/flush boundaries, so values close to 1 leave no
+  // headroom for in-flight allocations.
+  double spill_threshold = 0.8;
 
   MachineInfo machine = DetectMachine();
 
@@ -174,11 +189,27 @@ class AggregationOperator {
   void EnsureResources(int key_words);
   void ScheduleRootPass(const InputTable& input);
   void ScheduleBucket(Bucket bucket, int level);
+  // Routes a completed pass's child bucket: schedules it in memory, or —
+  // when its partition already spilled, or the budget is under pressure —
+  // moves the in-memory runs to the partition's spill stream and queues
+  // the bucket for the sequential restore phase.
+  void DispatchBucket(uint64_t parent_pass_id, uint32_t p, Bucket child,
+                      int level);
+  // Restores queued spilled buckets one at a time (so only one bucket's
+  // working set is resident) and runs each to completion.
+  Status DrainSpilledBuckets();
   void SchedulePass(std::shared_ptr<Pass> pass);
   void RunPassWorker(const std::shared_ptr<Pass>& pass, int worker_id);
   void CompletePass(const std::shared_ptr<Pass>& pass);
   void ScheduleExact(std::vector<Morsel> morsels, Bucket source, int level);
-  void AssembleResult(ResultTable* result);
+  // Retains a fully aggregated run for result assembly. Normally it waits
+  // in worker_finals_; under latched memory pressure it is evacuated to
+  // the spill manager's final-output stream instead — a spilling query's
+  // result can exceed the budget by itself (e.g. all keys distinct), and
+  // final rows are never touched again until AssembleResult. Throws
+  // StatusError on spill I/O failure or cancellation.
+  void EmitFinal(int worker_id, Run&& run);
+  Status AssembleResult(ResultTable* result);
 
   StateLayout layout_;
   AggregationOptions options_;
@@ -194,6 +225,11 @@ class AggregationOperator {
   // Per-execution cancellation/deadline view; armed by Execute/BeginStream
   // and polled by every pass context and exact task of this operator.
   QueryControl control_;
+
+  // Per-execution spill state; null when options_.spill_dir is empty.
+  // Recreated by ResetExecutionState, so error unwind and operator
+  // destruction close (and thereby reclaim) all spill files.
+  std::unique_ptr<SpillManager> spill_manager_;
 
   std::vector<std::unique_ptr<WorkerResources>> resources_;  // per worker
   std::vector<ExecStats> worker_stats_;                      // per worker
@@ -220,7 +256,9 @@ class AggregationOperator {
   // the status of draining the scheduler, so a worker failure during
   // teardown is surfaced to the caller instead of silently swallowed.
   Status AbortStream();
-  void CollectResult(ResultTable* result, ExecStats* stats);
+  // Assembles the result (including any spilled final output, whose
+  // read-back can fail) and fills in merged telemetry.
+  Status CollectResult(ResultTable* result, ExecStats* stats);
   // Rebuilds options_.obs->profile() from the merged execution telemetry
   // (strategy decision, per-level pass stats, scheduler, memory, per-worker
   // subtrees). Called from CollectResult; costs nothing on the hot path.

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "cea/common/check.h"
+#include "cea/core/spill_manager.h"
 #include "cea/hash/key_hash.h"
+#include "cea/mem/chunk_pool.h"
 #include "cea/simd/dispatch.h"
 #include "cea/table/growable_hash_table.h"
 
@@ -13,11 +15,11 @@ namespace cea {
 // (and ExecStatsToJson / FormatExecStats) silently drops telemetry when
 // per-worker stats are merged. Growing the struct trips this assert;
 // update Merge(), the JSON/text serializers, the stats tests, and then the
-// expected size. (LP64 layout: 13 u64 counters, two packed ints, double,
+// expected size. (LP64 layout: 16 u64 counters, two packed ints, double,
 // u64, then three per-level arrays.)
 #if defined(__x86_64__) || defined(__aarch64__)
 static_assert(sizeof(ExecStats) ==
-                  16 * sizeof(uint64_t) +
+                  19 * sizeof(uint64_t) +
                       3 * sizeof(std::array<uint64_t, kMaxRadixLevel + 1>),
               "ExecStats changed: update Merge(), ExecStatsToJson(), "
               "FormatExecStats() and this canary");
@@ -37,6 +39,9 @@ void ExecStats::Merge(const ExecStats& other) {
   chunks_allocated += other.chunks_allocated;
   chunks_recycled += other.chunks_recycled;
   mem_peak_bytes = std::max(mem_peak_bytes, other.mem_peak_bytes);
+  spilled_bytes += other.spilled_bytes;
+  spill_read_bytes += other.spill_read_bytes;
+  spill_files += other.spill_files;
   max_level = std::max(max_level, other.max_level);
   simd_tier = std::max(simd_tier, other.simd_tier);
   sum_alpha += other.sum_alpha;
@@ -67,13 +72,16 @@ WorkerResources::WorkerResources(int key_words, const StateLayout& layout,
 
 PassContext::PassContext(const StateLayout& layout, const Policy& policy,
                          WorkerResources* resources, int level,
-                         ExecStats* stats, const QueryControl* control)
+                         ExecStats* stats, const QueryControl* control,
+                         SpillManager* spill, uint64_t pass_id)
     : layout_(layout),
       policy_(policy),
       res_(*resources),
       level_(level),
       stats_(stats),
       control_(control),
+      spill_(spill),
+      pass_id_(pass_id),
       mode_(policy.InitialMode(level)) {
   CEA_CHECK(level >= 0 && level < kMaxRadixLevel);
   res_.table().Clear();
@@ -341,6 +349,7 @@ void PassContext::ProcessMorsel(const Morsel& m) {
   // work of this worker to a single morsel. The pass state stays
   // consistent — nothing of this morsel has been consumed yet.
   if (control_ != nullptr) control_->ThrowIfCancelled();
+  MaybeSpill();
   ++stats_->morsels;
   size_t i = 0;
   while (i < m.n) {
@@ -378,8 +387,10 @@ void PassContext::ProcessMorsel(const Morsel& m) {
       ++stats_->tables_flushed;
       // Cancellation boundary: the SWC flush just completed, so the run
       // store is consistent and large low-cardinality morsels (many
-      // flushes per morsel) still observe cancellation promptly.
+      // flushes per morsel) still observe cancellation promptly. The same
+      // boundary re-checks memory pressure — a split just grew the runs.
       if (control_ != nullptr) control_->ThrowIfCancelled();
+      MaybeSpill();
       Mode next = policy_.OnTableFull(alpha, level_);
       if (next == Mode::kPartition) {
         mode_ = Mode::kPartition;
@@ -391,6 +402,43 @@ void PassContext::ProcessMorsel(const Morsel& m) {
         }
       }
     }
+  }
+}
+
+// Spill floor: runs shorter than this stay resident, because spilling
+// them fragments the stream into tiny padded segments while freeing
+// almost nothing. The floor is the dominant resident cost of a spilling
+// pass — sub-floor runs of all kFanOut partitions stay pinned per worker
+// (worst case kFanOut * floor rows each) — so it must shrink as used()
+// closes in on the hard limit: with plenty of headroom wait for two
+// min-size chunks, near the wall spill almost anything. Leftovers of any
+// size are swept up by the operator's bucket dispatch once the pass
+// completes.
+static size_t SpillFloorRows() {
+  const MemoryBudget& budget = MemoryBudget::Global();
+  const size_t limit = budget.limit();
+  const size_t used = budget.used();
+  const size_t headroom = limit > used ? limit - used : 0;
+  if (headroom > size_t{16} << 20) return 2 * ChunkedArray::kMinChunkElems;
+  if (headroom > size_t{4} << 20) return ChunkedArray::kMinChunkElems;
+  return 64;
+}
+
+void PassContext::MaybeSpill() {
+  if (spill_ == nullptr || !spill_->ShouldSpill()) return;
+  // Partial SWC lines must land in the runs before the runs can move to
+  // disk. Flush() keeps the destination bindings, so partitioning appends
+  // simply continue into fresh chunks afterwards.
+  for (int w = 0; w < res_.key_words(); ++w) {
+    res_.key_writer(w).Flush();
+  }
+  for (int w = 0; w < layout_.total_words; ++w) {
+    res_.state_writer(w).Flush();
+  }
+  const size_t floor = SpillFloorRows();
+  for (uint32_t p = 0; p < kFanOut; ++p) {
+    if (runs_[p].size() < floor) continue;
+    spill_->SpillRun(SpillManager::PartitionKey(pass_id_, p), &runs_[p]);
   }
 }
 

@@ -36,6 +36,8 @@
 
 namespace cea {
 
+class SpillManager;
+
 // One contiguous stretch of pass input. `key_cols` holds one pointer per
 // grouping key word. For raw (level-0) input, `cols` holds one pointer
 // per aggregate spec — the caller's input column, or nullptr for
@@ -70,6 +72,12 @@ struct ExecStats {
   uint64_t chunks_allocated = 0;
   uint64_t chunks_recycled = 0;
   uint64_t mem_peak_bytes = 0;
+  // Spill telemetry (logical run bytes written to / read back from spill
+  // files and spill files created; zero when spilling is disabled or the
+  // budget never tripped the threshold).
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_read_bytes = 0;
+  uint64_t spill_files = 0;
   int max_level = 0;
   // Active SIMD dispatch tier of the execution (simd::DispatchTier as an
   // int; stats_io renders the name). Merged as max: tiers are ordered by
@@ -145,9 +153,14 @@ class PassContext {
   // boundaries; a fired token unwinds the pass by throwing StatusError
   // (cea/exec/cancellation.h), which the scheduler converts back into a
   // typed Status.
+  // `spill`, when non-null, is consulted at the same morsel/flush
+  // boundaries: under memory pressure completed partition runs are written
+  // to the pass's spill streams (keyed by `pass_id`) and their chunks
+  // returned to the pool.
   PassContext(const StateLayout& layout, const Policy& policy,
               WorkerResources* resources, int level, ExecStats* stats,
-              const QueryControl* control = nullptr);
+              const QueryControl* control = nullptr,
+              SpillManager* spill = nullptr, uint64_t pass_id = 0);
 
   // Processes one morsel with the current mode, switching routines at
   // table-flush / quota boundaries as the policy dictates. Throws
@@ -177,6 +190,9 @@ class PassContext {
   void ApplyValuesHash(const Morsel& m, size_t from, size_t len);
   void PartitionRange(const Morsel& m, size_t from, size_t to);
   void SplitTable();
+  // Under budget pressure, flushes the SWC writers and spills every run
+  // that accumulated at least kMinSpillRunRows to this pass's streams.
+  void MaybeSpill();
 
   const StateLayout& layout_;
   const Policy& policy_;
@@ -184,6 +200,8 @@ class PassContext {
   int level_;
   ExecStats* stats_;
   const QueryControl* control_;
+  SpillManager* spill_;
+  uint64_t pass_id_;
 
   std::array<Run, kFanOut> runs_;
   std::array<uint32_t, kFanOut> split_touches_{};  // splits that hit partition p

@@ -1,0 +1,216 @@
+#include "cea/core/spill_manager.h"
+
+#include <utility>
+
+#include "cea/common/check.h"
+#include "cea/mem/chunk_pool.h"
+
+namespace cea {
+
+namespace {
+
+// Restore scratch stays within the pool's size classes: one AppendBulk of
+// more than kMaxChunkElems would allocate an unpooled oversize chunk, and
+// oversize chunks Reserve() against the budget on every allocation — the
+// restore path must live off recycled inventory when the limit is tiny.
+constexpr size_t kScratchElems = ChunkedArray::kMaxChunkElems;
+
+void ThrowIo(Status s) { throw StatusError(std::move(s)); }
+
+}  // namespace
+
+SpillManager::SpillManager(Config config, int key_words,
+                           const StateLayout& layout,
+                           const QueryControl* control)
+    : config_(std::move(config)),
+      key_words_(key_words),
+      state_words_(layout.total_words),
+      control_(control) {
+  CEA_CHECK(!config_.dir.empty());
+  CEA_CHECK(config_.threshold > 0.0);
+}
+
+void SpillManager::PollControl() const {
+  if (control_ != nullptr) control_->ThrowIfCancelled();
+}
+
+bool SpillManager::ShouldSpill() const {
+  const MemoryBudget& budget = MemoryBudget::Global();
+  const size_t limit = budget.limit();
+  if (limit == 0) return false;
+  // Reserve() fails on used() + request > limit and used() is monotone,
+  // so distance-to-limit of used() itself is the danger signal; idle pool
+  // inventory is deliberately not subtracted (see spill_manager.h).
+  return static_cast<double>(budget.used()) >=
+         config_.threshold * static_cast<double>(limit);
+}
+
+void SpillManager::SpillRun(uint64_t key, Run* run) {
+  const uint64_t rows = run->size();
+  if (rows == 0) return;
+  run->CheckConsistent();
+
+  Segment seg;
+  seg.rows = rows;
+  {
+    std::lock_guard<std::mutex> io(io_mutex_);
+    PollControl();
+    if (!file_.is_open()) {
+      Status s = file_.Create(config_.dir);
+      if (!s.ok()) ThrowIo(std::move(s));
+      files_created_.fetch_add(1, std::memory_order_relaxed);
+    }
+    seg.file_offset = file_.size();
+    auto append_column = [&](const ChunkedArray& col) {
+      col.ForEachChunk([&](const uint64_t* data, size_t n) {
+        Status s = file_.Append(data, n * sizeof(uint64_t));
+        if (!s.ok()) ThrowIo(std::move(s));
+      });
+    };
+    try {
+      for (const ChunkedArray& col : run->key_cols) {
+        PollControl();
+        append_column(col);
+      }
+      for (const ChunkedArray& col : run->states) {
+        PollControl();
+        append_column(col);
+      }
+      // Start the next segment (whoever writes it) on a block boundary;
+      // this also keeps the file readable between segment appends.
+      Status s = file_.Align();
+      if (!s.ok()) ThrowIo(std::move(s));
+    } catch (...) {
+      // Cancellation or I/O failure mid-segment: drop the partial tail so
+      // the file stays aligned and consistent, and record nothing — the
+      // run still holds its rows and unwinds with the pass.
+      file_.AbandonTail();
+      throw;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PartitionStream& stream = streams_[key];
+    stream.segments.push_back(seg);
+    stream.rows += rows;
+  }
+  bytes_written_.fetch_add(
+      rows * static_cast<uint64_t>(key_words_ + state_words_) *
+          sizeof(uint64_t),
+      std::memory_order_relaxed);
+
+  // Only after every byte is durable: release the chunks back to the pool.
+  for (ChunkedArray& col : run->key_cols) col.Clear();
+  for (ChunkedArray& col : run->states) col.Clear();
+  run->distinct = false;
+}
+
+bool SpillManager::HasSpilled(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = streams_.find(key);
+  return it != streams_.end() && it->second.rows != 0;
+}
+
+void SpillManager::EnqueueBucket(uint64_t key, int level) {
+  PendingBucket pending;
+  pending.key = key;
+  pending.level = level;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = streams_.find(key);
+    CEA_CHECK(it != streams_.end());
+    pending.rows = it->second.rows;
+    pending_.push_back(pending);
+  }
+}
+
+std::vector<SpillManager::FinalSegment> SpillManager::TakeFinalSegments() {
+  std::vector<FinalSegment> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = streams_.find(kFinalKey);
+  if (it == streams_.end()) return out;
+  out.reserve(it->second.segments.size());
+  for (const Segment& seg : it->second.segments) {
+    out.push_back({seg.rows, seg.file_offset});
+  }
+  streams_.erase(it);
+  return out;
+}
+
+Status SpillManager::ReadSegmentColumn(const FinalSegment& seg, int col,
+                                       uint64_t* dst) {
+  CEA_CHECK(col >= 0 && col < key_words_ + state_words_);
+  std::lock_guard<std::mutex> io(io_mutex_);
+  Status s = file_.ReadAt(
+      seg.file_offset +
+          static_cast<uint64_t>(col) * seg.rows * sizeof(uint64_t),
+      dst, seg.rows * sizeof(uint64_t));
+  if (s.ok()) {
+    bytes_read_.fetch_add(seg.rows * sizeof(uint64_t),
+                          std::memory_order_relaxed);
+  }
+  return s;
+}
+
+bool SpillManager::TakePending(PendingBucket* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_.empty()) return false;
+  *out = pending_.front();
+  pending_.pop_front();
+  return true;
+}
+
+void SpillManager::Restore(const PendingBucket& desc, Run* out) {
+  PartitionStream stream;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = streams_.find(desc.key);
+    CEA_CHECK(it != streams_.end());
+    stream = std::move(it->second);
+    streams_.erase(it);
+  }
+  // The producing pass has completed, so no more segments can arrive for
+  // this stream; the I/O mutex serializes the reads against spills of
+  // other streams (the file is block-aligned between segments, so the
+  // interleaving is safe at segment granularity).
+  std::lock_guard<std::mutex> io(io_mutex_);
+
+  CEA_CHECK(static_cast<int>(out->key_cols.size()) == key_words_);
+  CEA_CHECK(static_cast<int>(out->states.size()) == state_words_);
+  const int cols = key_words_ + state_words_;
+  uint64_t scratch[kScratchElems];
+  for (const Segment& seg : stream.segments) {
+    for (int j = 0; j < cols; ++j) {
+      ChunkedArray& dst = j < key_words_ ? out->key_cols[j]
+                                         : out->states[j - key_words_];
+      uint64_t offset =
+          seg.file_offset + static_cast<uint64_t>(j) * seg.rows *
+                                sizeof(uint64_t);
+      uint64_t left = seg.rows;
+      while (left != 0) {
+        PollControl();
+        size_t take = left < kScratchElems ? static_cast<size_t>(left)
+                                           : kScratchElems;
+        Status rs = file_.ReadAt(offset, scratch,
+                                 take * sizeof(uint64_t));
+        if (!rs.ok()) ThrowIo(std::move(rs));
+        // May throw MemoryBudgetExceeded when even a single bucket's
+        // working set exceeds the limit; the caller surfaces that as
+        // kResourceExhausted.
+        dst.AppendBulk(scratch, take);
+        offset += take * sizeof(uint64_t);
+        left -= take;
+      }
+    }
+  }
+  // Groups may straddle segments, so the concatenation is never distinct.
+  out->distinct = false;
+  out->CheckConsistent();
+  CEA_CHECK(out->size() == desc.rows);
+  bytes_read_.fetch_add(desc.rows * static_cast<uint64_t>(cols) *
+                            sizeof(uint64_t),
+                        std::memory_order_relaxed);
+  buckets_restored_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace cea

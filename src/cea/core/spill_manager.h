@@ -1,0 +1,209 @@
+// SpillManager: graceful degradation when the run store outgrows the
+// memory budget.
+//
+// The paper's §2 cost model analyzes recursive radix partitioning as an
+// external-memory algorithm; this is the component that makes the operator
+// behave like one instead of failing with kResourceExhausted (the policy
+// follows Graefe's sort/aggregation survey and the classic hybrid-hash
+// spill discipline: keep as many buckets memory-resident as the budget
+// allows, spill the rest as sequential runs, recurse over them one bucket
+// at a time).
+//
+// Pressure signal. Reserve() fails when used() + request > limit, and
+// used() is monotone within a process (the pool retains slabs), so the
+// distance of used() to the hard wall is the only reliable danger signal:
+// spilling starts once used() >= threshold * limit and, being monotone,
+// never stops for the rest of the process. The threshold (< 1) leaves
+// headroom so morsel-granular checks react before an allocation trips the
+// limit. (A resident estimate of used() - pooled_free_bytes() was tried
+// first and self-defeats: spilling refills the pool's freelists, dropping
+// the estimate below threshold, while slab growth for *other* size
+// classes keeps marching used() into the limit.)
+//
+// File format. Each radix partition of each pass owns one logical stream,
+// keyed by PartitionKey(pass_id, p) — pass ids are process-unique, so
+// streams from different recursion branches never collide. All streams of
+// one manager share a single unlinked SpillFile: each spilled run becomes
+// one segment starting at a 4 KiB-aligned offset (SpillFile::Align after
+// every segment), laid out column-major — rows*8 bytes of key word 0,
+// ..., then each state word. Segment extents (row count + file offset)
+// live in memory only, per stream; restore concatenates a stream's
+// segments into a single non-distinct Run, which the next recursion level
+// re-partitions or re-aggregates from scratch. One file — rather than one
+// per stream — bounds the descriptor and staging-buffer footprint to a
+// single fd + 1 MiB no matter how deep the recursion fans out (deep
+// tiny-budget runs used to exhaust the fd limit). Restored segments
+// become dead space in the file; the disk is reclaimed wholesale when the
+// manager drops.
+//
+// Recovery invariants:
+//  * A stream only receives writes while its producing pass runs; the
+//    bucket is restored strictly after that pass completed. Appends and
+//    reads on the shared file are serialized by the I/O mutex and the
+//    file is aligned between segments, so they interleave safely at
+//    segment granularity.
+//  * A spill that fails mid-segment (I/O error, cancellation) abandons
+//    the partial tail (SpillFile::AbandonTail) and records nothing: the
+//    stream keeps only complete segments on every unwind path.
+//  * Restored runs are marked non-distinct even if every contributing run
+//    was distinct — rows of one group may be split across segments.
+//  * The spill file is unlinked at creation; dropping the manager
+//    (success, error unwind, operator destruction) reclaims all disk
+//    space.
+//
+// Thread-safe: workers spill concurrently under the I/O mutex; the
+// stream registry is guarded by a separate manager mutex.
+
+#ifndef CEA_CORE_SPILL_MANAGER_H_
+#define CEA_CORE_SPILL_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cea/columnar/aggregate_function.h"
+#include "cea/common/status.h"
+#include "cea/core/run.h"
+#include "cea/exec/cancellation.h"
+#include "cea/mem/spill_file.h"
+
+namespace cea {
+
+class SpillManager {
+ public:
+  struct Config {
+    // Existing writable directory for the unlinked temp files.
+    std::string dir;
+    // Fraction of the budget limit at which spilling starts.
+    double threshold = 0.8;
+  };
+
+  // A spilled bucket waiting to be restored and rescheduled.
+  struct PendingBucket {
+    uint64_t key = 0;  // PartitionKey of the stream to restore
+    int level = 0;     // recursion level the restored bucket runs at
+    uint64_t rows = 0;
+  };
+
+  // `control` is polled between I/O chunks so cancellation and deadlines
+  // interrupt spill writes/reads like any other pass work; may be null.
+  SpillManager(Config config, int key_words, const StateLayout& layout,
+               const QueryControl* control);
+
+  SpillManager(const SpillManager&) = delete;
+  SpillManager& operator=(const SpillManager&) = delete;
+
+  // Stream key for partition `p` of pass `pass_id`. Pass ids are unique
+  // per execution (AggregationOperator::num_passes_), so shifting by the
+  // fan-out width cannot collide across recursion branches.
+  static uint64_t PartitionKey(uint64_t pass_id, uint32_t p) {
+    return (pass_id << 8) | p;
+  }
+
+  // Stream key reserved for evacuated final output. A spilling query's
+  // fully aggregated result can exceed the budget all by itself (e.g.
+  // every key distinct), and final runs are never touched again until
+  // result assembly — so under pressure they move to this stream and are
+  // read back straight into the caller's ResultTable, bypassing the
+  // pooled run store entirely. Unreachable from PartitionKey: pass ids
+  // would have to reach 2^56 - 1.
+  static constexpr uint64_t kFinalKey = ~uint64_t{0};
+
+  // One segment of the final-output stream (one evacuated run), exposed
+  // for AssembleResult to stream columns out of.
+  struct FinalSegment {
+    uint64_t rows = 0;
+    uint64_t file_offset = 0;
+  };
+
+  // Removes and returns the final stream's segments (empty when nothing
+  // was evacuated).
+  std::vector<FinalSegment> TakeFinalSegments();
+
+  // Reads column `col` (key words first, then state words, matching the
+  // segment layout SpillRun wrote) of one final segment into `dst`, which
+  // must hold at least `seg.rows` words of plain (non-pooled) memory.
+  Status ReadSegmentColumn(const FinalSegment& seg, int col, uint64_t* dst);
+
+  // True once MemoryBudget::used() crossed threshold * limit (never when
+  // the budget is unlimited). used() is monotone, so this latches for the
+  // rest of the process. Cheap: two relaxed atomic loads.
+  bool ShouldSpill() const;
+
+  // Appends the rows of `run` to stream `key` and releases the run's
+  // chunks back to the pool (the run is left empty but usable). Throws
+  // StatusError on I/O failure or cancellation.
+  void SpillRun(uint64_t key, Run* run);
+
+  // True when stream `key` holds at least one segment.
+  bool HasSpilled(uint64_t key) const;
+
+  // Queues stream `key` for restore at recursion level `level`.
+  void EnqueueBucket(uint64_t key, int level);
+
+  // Pops the next queued bucket; false when none remain.
+  bool TakePending(PendingBucket* out);
+
+  // Reads every segment of the pending bucket's stream back into `out`
+  // (appended column-wise, marked non-distinct) and drops the stream.
+  // Throws StatusError on I/O failure or cancellation, and
+  // MemoryBudgetExceeded when even one bucket does not fit the budget.
+  void Restore(const PendingBucket& desc, Run* out);
+
+  // Per-execution telemetry (logical bytes, not padded disk bytes).
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  uint64_t files_created() const {
+    return files_created_.load(std::memory_order_relaxed);
+  }
+  uint64_t buckets_restored() const {
+    return buckets_restored_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& dir() const { return config_.dir; }
+  double threshold() const { return config_.threshold; }
+
+ private:
+  struct Segment {
+    uint64_t rows = 0;
+    uint64_t file_offset = 0;
+  };
+  struct PartitionStream {
+    std::vector<Segment> segments;
+    uint64_t rows = 0;
+  };
+
+  void PollControl() const;
+
+  const Config config_;
+  const int key_words_;
+  const int state_words_;
+  const QueryControl* control_;
+
+  // Serializes all I/O on the shared file (and its creation). Never
+  // acquired while holding mutex_.
+  std::mutex io_mutex_;
+  SpillFile file_;
+
+  mutable std::mutex mutex_;
+  std::map<uint64_t, PartitionStream> streams_;
+  std::deque<PendingBucket> pending_;
+
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> files_created_{0};
+  std::atomic<uint64_t> buckets_restored_{0};
+};
+
+}  // namespace cea
+
+#endif  // CEA_CORE_SPILL_MANAGER_H_

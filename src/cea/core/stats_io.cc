@@ -50,6 +50,14 @@ std::string FormatExecStats(const ExecStats& stats) {
           " recycled, peak %.1f MiB\n",
           stats.chunks_allocated, stats.chunks_recycled,
           static_cast<double>(stats.mem_peak_bytes) / (1024.0 * 1024.0));
+  if (stats.spill_files != 0) {
+    Appendf(&out,
+            "spill: %.1f MiB written, %.1f MiB read back, %" PRIu64
+            " files\n",
+            static_cast<double>(stats.spilled_bytes) / (1024.0 * 1024.0),
+            static_cast<double>(stats.spill_read_bytes) / (1024.0 * 1024.0),
+            stats.spill_files);
+  }
   Appendf(&out, "simd tier: %s\n",
           simd::TierName(static_cast<simd::DispatchTier>(stats.simd_tier)));
   Appendf(&out, "levels (rows hashed / partitioned / cpu-seconds):\n");
@@ -79,6 +87,9 @@ std::string ExecStatsToJson(const ExecStats& stats) {
   w.Key("chunks_allocated").Uint(stats.chunks_allocated);
   w.Key("chunks_recycled").Uint(stats.chunks_recycled);
   w.Key("mem_peak_bytes").Uint(stats.mem_peak_bytes);
+  w.Key("spilled_bytes").Uint(stats.spilled_bytes);
+  w.Key("spill_read_bytes").Uint(stats.spill_read_bytes);
+  w.Key("spill_files").Uint(stats.spill_files);
   w.Key("max_level").Int(stats.max_level);
   w.Key("simd_tier")
       .String(simd::TierName(static_cast<simd::DispatchTier>(stats.simd_tier)));

@@ -1,5 +1,6 @@
 #include "cea/exec/query_session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 
@@ -76,8 +77,16 @@ void QuerySession::Admission::Release() {
 }
 
 Status QuerySession::Admit(size_t bytes, Admission* grant,
-                           CancellationToken token) {
+                           CancellationToken token, bool spillable) {
   CEA_CHECK(grant != nullptr && !grant->admitted());
+  if (spillable && bytes > 0) {
+    // The discounted reservation is what the query is expected to keep
+    // resident; the spill threshold underneath sheds the remainder. Never
+    // discount to zero — an admitted query must hold a nonzero stake.
+    bytes = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(bytes) *
+                               options_.spillable_fraction));
+  }
   const auto entry = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mutex_);
   if (capacity_ != 0 && bytes > capacity_) {

@@ -62,6 +62,11 @@ class QuerySession {
     int max_concurrent = 0;
     // Waiters beyond this are rejected instead of queued.
     size_t max_queued = 16;
+    // Fraction of the declared footprint a spillable query reserves.
+    // A query that can spill does not need its worst case resident — it
+    // degrades to disk under pressure — so reserving the full estimate
+    // would idle capacity other queries could use. Must be in (0, 1].
+    double spillable_fraction = 0.25;
   };
 
   QuerySession();  // all-default Options
@@ -119,9 +124,13 @@ class QuerySession {
   // slot is free, then fills *grant. Returns kResourceExhausted without
   // queueing when the request can never fit or the wait queue is full;
   // returns the token's status when a queued caller is cancelled or runs
-  // past its deadline while waiting.
+  // past its deadline while waiting. A `spillable` query (one running with
+  // a spill directory configured) reserves only
+  // `options.spillable_fraction * bytes` — it sheds the rest to disk under
+  // pressure instead of holding capacity hostage to its worst case.
   Status Admit(size_t bytes, Admission* grant,
-               CancellationToken token = CancellationToken());
+               CancellationToken token = CancellationToken(),
+               bool spillable = false);
 
   // Introspection (racy snapshots, intended for tests and telemetry).
   int active() const;

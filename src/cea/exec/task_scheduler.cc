@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "cea/common/check.h"
+#include "cea/mem/chunk_pool.h"
 
 namespace cea {
 namespace {
@@ -27,14 +28,18 @@ thread_local std::vector<TaskGroup*> tls_group_stack;
 
 // Runs `fn` capturing any exception as a typed Status (ok = no error).
 // StatusError carriers keep their code (cancellation/deadline stay
-// distinguishable from generic runtime failures); everything else becomes
-// kRuntimeError.
+// distinguishable from generic runtime failures); memory-budget
+// exhaustion maps to kResourceExhausted so callers can react (retry with
+// a larger budget, enable spilling) without parsing messages; everything
+// else becomes kRuntimeError.
 template <typename Fn>
 Status RunCatching(Fn&& fn) {
   try {
     fn();
   } catch (const StatusError& e) {
     return e.status();
+  } catch (const MemoryBudgetExceeded& e) {
+    return Status::ResourceExhausted(e.what());
   } catch (const std::exception& e) {
     std::string error = e.what();
     if (error.empty()) error = "task failed with an empty message";

@@ -111,6 +111,11 @@ uint64_t* ChunkPool::CarveFresh(size_t bytes) {
   if (static_cast<size_t>(bump_end_ - bump_next_) < bytes) {
     // The slab tail (< one max-class block) is abandoned; at 64 KiB of
     // 2 MiB that is a ~3% bound on carving waste.
+    //
+    // Grow the slab registry before reserving budget: a bad_alloc out of
+    // push_back after Reserve+aligned_alloc succeeded would leak the slab
+    // and leave the budget permanently charged for it.
+    slabs_.reserve(slabs_.size() + 1);
     MemoryBudget::Global().Reserve(kSlabBytes);
     void* slab = std::aligned_alloc(kSlabBytes, kSlabBytes);
     if (slab == nullptr) {
@@ -164,6 +169,7 @@ uint64_t* ChunkPool::Allocate(size_t elems) {
   if (!local.empty()) {
     uint64_t* block = local.back();
     local.pop_back();
+    free_bytes_.fetch_sub(elems * sizeof(uint64_t), std::memory_order_relaxed);
     recycled_chunks_.fetch_add(1, std::memory_order_relaxed);
     return block;
   }
@@ -182,6 +188,9 @@ void ChunkPool::Free(uint64_t* data, size_t elems) {
     MemoryBudget::Global().Release(bytes);
     return;
   }
+  // Cached and sharded blocks both count as idle inventory; the counter is
+  // decremented only when Allocate hands a recycled block back out.
+  free_bytes_.fetch_add(elems * sizeof(uint64_t), std::memory_order_relaxed);
   std::vector<uint64_t*>& local = Cache().blocks[k];
   local.push_back(data);
   if (local.size() > kMaxCachedPerClass) {

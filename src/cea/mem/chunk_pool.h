@@ -122,6 +122,15 @@ class ChunkPool {
 
   Stats GetStats() const;
 
+  // Bytes of size-class blocks currently sitting idle in thread caches or
+  // shard freelists. Because slabs are retained for the process lifetime,
+  // MemoryBudget::used() never shrinks; `used() - pooled_free_bytes()`
+  // approximates the memory actually referenced by live runs, which is the
+  // pressure signal the spill policy reacts to (spill_manager.h).
+  size_t pooled_free_bytes() const {
+    return free_bytes_.load(std::memory_order_relaxed);
+  }
+
   // Moves the calling thread's cached blocks to the shared shards. Runs
   // automatically at thread exit; exposed for tests.
   void FlushThreadCache();
@@ -179,6 +188,8 @@ class ChunkPool {
   std::vector<void*> slabs_;    // retained for the process lifetime
   char* bump_next_ = nullptr;   // carving cursor into the current slab
   char* bump_end_ = nullptr;
+
+  std::atomic<size_t> free_bytes_{0};
 
   std::atomic<uint64_t> fresh_chunks_{0};
   std::atomic<uint64_t> recycled_chunks_{0};

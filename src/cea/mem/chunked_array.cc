@@ -54,6 +54,13 @@ void ChunkedArray::AddChunk(size_t min_capacity) {
   if (capacity < min_capacity) {
     capacity = (min_capacity + kLineElems - 1) & ~(kLineElems - 1);
   }
+  // Grow the chunk list before drawing from the pool: a bad_alloc out of
+  // push_back after Allocate succeeded would strand the chunk — never
+  // returned to the pool, never released against the budget. Doubling by
+  // hand keeps the amortized growth reserve() alone would forfeit.
+  if (chunks_.size() == chunks_.capacity()) {
+    chunks_.reserve(chunks_.empty() ? 8 : chunks_.capacity() * 2);
+  }
   // Draws from the process-wide chunk pool; exhaustion of the memory
   // budget throws MemoryBudgetExceeded, which the scheduler's error path
   // surfaces as a Status instead of crashing mid-pass.

@@ -1,0 +1,115 @@
+// SpillFile: an unlinked temporary file for spilled partition runs.
+//
+// The paper's §2 cost model treats recursive radix partitioning as an
+// external-memory algorithm; SpillFile is the I/O primitive that makes the
+// "external" part real. Design points:
+//
+//  * Files are unlinked at creation (O_TMPFILE where available, otherwise
+//    mkstemp + immediate unlink), so the kernel reclaims them on close —
+//    including process crash, cancellation unwind, and operator
+//    destruction. Nothing is ever left behind in the spill directory.
+//  * Writes go through a 4 KiB-aligned staging buffer and hit the disk in
+//    whole aligned blocks, mirroring the write-combining idiom of
+//    stream_store.h at page granularity: spilling a run should stream at
+//    device bandwidth, not bounce through the page cache line by line.
+//    O_DIRECT is attempted first and silently dropped when the filesystem
+//    does not support it (tmpfs, some network filesystems); the aligned
+//    block discipline is kept either way.
+//  * All I/O reports failure as Status (never throws): spilling happens on
+//    the exhaustion path, where a second exception would be fatal.
+//
+// Not thread-safe; callers (SpillManager) serialize access per file.
+
+#ifndef CEA_MEM_SPILL_FILE_H_
+#define CEA_MEM_SPILL_FILE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cea/common/status.h"
+
+namespace cea {
+
+class SpillFile {
+ public:
+  // O_DIRECT requires offset, length, and buffer alignment; 4 KiB covers
+  // every filesystem block size in practice.
+  static constexpr size_t kAlign = 4096;
+  // Staging buffer: writes are issued in 1 MiB aligned batches.
+  static constexpr size_t kBufBytes = size_t{1} << 20;
+
+  // Process-wide spill I/O totals (monotonic, relaxed). Feed the
+  // cea_spill_*_total metric gauges.
+  struct Totals {
+    uint64_t bytes_written = 0;
+    uint64_t bytes_read = 0;
+    uint64_t files_created = 0;
+  };
+  static Totals GetTotals();
+
+  SpillFile() = default;
+  ~SpillFile();
+
+  SpillFile(SpillFile&& other) noexcept;
+  SpillFile& operator=(SpillFile&& other) noexcept;
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  // Creates an unlinked temporary file in `dir` and allocates the staging
+  // buffer. `dir` must be an existing writable directory.
+  Status Create(const std::string& dir);
+
+  // Appends `bytes` bytes of `data` to the logical stream. Data is staged
+  // and written out in whole kAlign blocks; the trailing partial block
+  // stays buffered until more data arrives or FinishWrites pads it.
+  Status Append(const void* data, size_t bytes);
+
+  // Flushes the trailing partial block (zero-padded on disk; the logical
+  // size is unchanged). Must be called before ReadAt. Idempotent.
+  Status FinishWrites();
+
+  // Like FinishWrites, but also rounds the logical size up to the padded
+  // kAlign boundary, so a later Append starts a fresh aligned region and
+  // earlier regions stay readable. This is how SpillManager packs many
+  // independent segments into one file: Align after each segment, record
+  // the segment's [offset, offset+bytes) extent, and reads and appends
+  // can then interleave at segment granularity. Idempotent.
+  Status Align();
+
+  // Discards any staged-but-unwritten bytes and rolls the logical size
+  // back to the last block boundary flushed to disk. Cannot fail. Used on
+  // exception unwind mid-append: the abandoned partial region becomes
+  // dead space that no reader ever references, and the file is back in a
+  // state where Append/Align/ReadAt all work.
+  void AbandonTail();
+
+  // Reads `bytes` logical bytes at `offset` into `dst` (any alignment),
+  // bouncing through the aligned staging buffer. Only valid while no
+  // bytes are staged (after FinishWrites or Align); interleaving with a
+  // partially staged Append is not supported.
+  Status ReadAt(uint64_t offset, void* dst, size_t bytes);
+
+  // Logical bytes appended so far.
+  uint64_t size() const { return logical_size_; }
+  bool is_open() const { return fd_ >= 0; }
+  // True when the file descriptor carries O_DIRECT.
+  bool direct_io() const { return direct_; }
+
+  void Close();
+
+ private:
+  Status WriteBlocks(const char* buf, size_t bytes);
+
+  int fd_ = -1;
+  bool direct_ = false;
+  uint64_t logical_size_ = 0;  // bytes the caller appended
+  uint64_t disk_offset_ = 0;   // aligned bytes actually written to disk
+  size_t staged_ = 0;          // bytes pending in buf_
+  char* buf_ = nullptr;        // kAlign-aligned, kBufBytes staging buffer
+};
+
+}  // namespace cea
+
+#endif  // CEA_MEM_SPILL_FILE_H_

@@ -1,5 +1,6 @@
 #include "cea/obs/metrics.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cinttypes>
 #include <cmath>
@@ -8,6 +9,7 @@
 
 #include "cea/common/check.h"
 #include "cea/mem/chunk_pool.h"
+#include "cea/mem/spill_file.h"
 #include "cea/obs/json_writer.h"
 
 namespace cea::obs {
@@ -308,6 +310,18 @@ void RegisterProcessMetrics(MetricRegistry* registry) {
         return static_cast<double>(
             ChunkPool::Global().GetStats().slabs_allocated);
       });
+  registry->RegisterCallbackGauge(
+      "cea_spill_bytes_total", "Bytes written to spill files", [] {
+        return static_cast<double>(SpillFile::GetTotals().bytes_written);
+      });
+  registry->RegisterCallbackGauge(
+      "cea_spill_read_bytes_total", "Bytes read back from spill files", [] {
+        return static_cast<double>(SpillFile::GetTotals().bytes_read);
+      });
+  registry->RegisterCallbackGauge(
+      "cea_spill_files_total", "Spill files created", [] {
+        return static_cast<double>(SpillFile::GetTotals().files_created);
+      });
 }
 
 JsonlMetricSink::JsonlMetricSink(MetricRegistry* registry, std::string path,
@@ -318,25 +332,53 @@ JsonlMetricSink::JsonlMetricSink(MetricRegistry* registry, std::string path,
     // Probe writability up front so a bad path fails at construction, not
     // silently in the background thread.
     std::FILE* f = std::fopen(path_.c_str(), "a");
-    if (f == nullptr) return;
+    if (f == nullptr) {
+      (void)Fail("open", errno);
+      return;
+    }
     std::fclose(f);
   }
   ok_ = true;
   thread_ = std::thread([this] { Run(); });
 }
 
-JsonlMetricSink::~JsonlMetricSink() { Stop(); }
+JsonlMetricSink::~JsonlMetricSink() { (void)Stop(); }
 
-void JsonlMetricSink::Stop() {
+Status JsonlMetricSink::Fail(const char* op, int err) {
+  Status s = Status::RuntimeError(std::string("metrics sink: ") + op +
+                                  " '" + path_ + "' failed: " +
+                                  std::strerror(err));
+  std::lock_guard<std::mutex> lock(err_mutex_);
+  if (last_error_.ok()) last_error_ = s;  // keep the first failure
+  if (!warned_) {
+    warned_ = true;
+    std::fprintf(stderr, "warning: %s (further metric snapshots may drop)\n",
+                 s.message().c_str());
+  }
+  return s;
+}
+
+Status JsonlMetricSink::last_error() const {
+  std::lock_guard<std::mutex> lock(err_mutex_);
+  return last_error_;
+}
+
+Status JsonlMetricSink::Stop() {
+  bool already = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopped_) return;
+    if (stopped_) already = true;
     stop_ = true;
     stopped_ = true;
   }
-  cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
-  if (ok_) WriteSnapshot();  // final snapshot after the thread is gone
+  if (!already) {
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    if (ok_) {
+      (void)WriteSnapshot();  // final snapshot after the thread is gone
+    }
+  }
+  return last_error();
 }
 
 void JsonlMetricSink::Run() {
@@ -352,7 +394,7 @@ void JsonlMetricSink::Run() {
   }
 }
 
-void JsonlMetricSink::WriteSnapshot() {
+Status JsonlMetricSink::WriteSnapshot() {
   std::string line = registry_->JsonSnapshot();
   line += '\n';
   if (path_ == "-") {
@@ -360,11 +402,14 @@ void JsonlMetricSink::WriteSnapshot() {
     std::fflush(stdout);
   } else {
     std::FILE* f = std::fopen(path_.c_str(), "a");
-    if (f == nullptr) return;
-    std::fwrite(line.data(), 1, line.size(), f);
-    std::fclose(f);
+    if (f == nullptr) return Fail("open", errno);
+    size_t written = std::fwrite(line.data(), 1, line.size(), f);
+    int write_err = written != line.size() ? errno : 0;
+    if (std::fclose(f) != 0 && write_err == 0) write_err = errno;
+    if (write_err != 0) return Fail("write", write_err);
   }
   snapshots_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
 }
 
 }  // namespace cea::obs

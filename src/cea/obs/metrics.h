@@ -43,6 +43,8 @@
 #include <thread>
 #include <vector>
 
+#include "cea/common/status.h"
+
 namespace cea::obs {
 
 class JsonWriter;
@@ -205,21 +207,33 @@ class JsonlMetricSink {
   JsonlMetricSink& operator=(const JsonlMetricSink&) = delete;
 
   bool ok() const { return ok_; }
-  // Stops the thread and writes the final snapshot. Idempotent.
-  void Stop();
+  // Stops the thread and writes the final snapshot. Idempotent. Returns
+  // the sticky flush-path error (Ok when every snapshot landed) — a
+  // monitoring file that silently stopped receiving data is worse than a
+  // failed query, so callers get both a Status here and a one-shot stderr
+  // warning at the first failed write.
+  Status Stop();
+  // Sticky first error of the flush path (construction probe included).
+  Status last_error() const;
   uint64_t snapshots_written() const {
     return snapshots_.load(std::memory_order_relaxed);
   }
 
  private:
   void Run();
-  void WriteSnapshot();
+  Status WriteSnapshot();
+  // Records the first flush error and emits the one-shot stderr warning.
+  Status Fail(const char* op, int err);
 
   MetricRegistry* registry_;
   std::string path_;
   int64_t period_ms_;
   bool ok_ = false;
   std::atomic<uint64_t> snapshots_{0};
+
+  mutable std::mutex err_mutex_;
+  Status last_error_;
+  bool warned_ = false;
 
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -1,6 +1,8 @@
 #include "cea/obs/trace.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 #include "cea/obs/json_writer.h"
 
@@ -79,14 +81,21 @@ std::string TraceRecorder::ToChromeJson() const {
   return w.str();
 }
 
-bool TraceRecorder::WriteChromeJson(const std::string& path) const {
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    return Status::RuntimeError("trace: open '" + path +
+                                "' failed: " + std::strerror(errno));
+  }
   std::string json = ToChromeJson();
   size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  bool ok = written == json.size();
-  ok = std::fclose(f) == 0 && ok;
-  return ok;
+  int err = written != json.size() ? errno : 0;
+  if (std::fclose(f) != 0 && err == 0) err = errno;
+  if (err != 0) {
+    return Status::RuntimeError("trace: write '" + path +
+                                "' failed: " + std::strerror(err));
+  }
+  return Status::Ok();
 }
 
 }  // namespace cea::obs

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "cea/common/status.h"
 #include "cea/obs/perf_counters.h"
 
 namespace cea::obs {
@@ -103,8 +104,10 @@ class TraceRecorder {
 
   // Chrome trace-event JSON. Call only while no spans are being recorded.
   std::string ToChromeJson() const;
-  // Writes ToChromeJson() to `path`; false on I/O error.
-  bool WriteChromeJson(const std::string& path) const;
+  // Writes ToChromeJson() to `path`. A trace the user asked for that never
+  // hit disk must not look like success, so I/O failures come back as a
+  // Status naming the path and errno instead of a silently dropped file.
+  Status WriteChromeJson(const std::string& path) const;
 
  private:
   // Heap-allocated per-thread slots keep addresses stable across

@@ -1,0 +1,336 @@
+// Tests of the spill-to-disk degradation path: the SpillFile I/O
+// primitive, SpillManager segment round-trips, the operator completing
+// group-bys whose working set exceeds the memory budget (verified against
+// the unlimited-budget reference), the budget-exhaustion unwind paths
+// (no chunk accounting leaks), and a seeded differential fuzz including
+// mid-spill cancellation.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cea/core/spill_manager.h"
+#include "cea/core/stats_io.h"
+#include "cea/datagen/generators.h"
+#include "cea/mem/chunk_pool.h"
+#include "cea/mem/spill_file.h"
+#include "test_util.h"
+
+namespace cea {
+namespace {
+
+// gtest runs in one process with the warm global ChunkPool: used() never
+// shrinks, so budgets are expressed as headroom over the current mark and
+// the limit is always restored afterwards.
+class BudgetGuard {
+ public:
+  BudgetGuard() : saved_(MemoryBudget::Global().limit()) {}
+  ~BudgetGuard() { MemoryBudget::Global().SetLimit(saved_); }
+  void SetHeadroom(size_t bytes) {
+    MemoryBudget::Global().SetLimit(MemoryBudget::Global().used() + bytes);
+  }
+
+ private:
+  size_t saved_;
+};
+
+// The spill directory of this test binary. Files are unlinked at
+// creation, so there is nothing to clean up; /tmp always exists.
+std::string SpillDir() { return "/tmp"; }
+
+std::vector<uint64_t> UniformKeys(uint64_t n, uint64_t k, uint64_t seed) {
+  GenParams gp;
+  gp.n = n;
+  gp.k = k;
+  gp.seed = seed;
+  return GenerateKeys(gp);
+}
+
+AggregationOptions SpillOptions(int threads, double threshold) {
+  AggregationOptions o = TinyCacheOptions(threads);
+  o.spill_dir = SpillDir();
+  o.spill_threshold = threshold;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// SpillFile
+
+TEST(SpillFile, RoundTripOddSizesAcrossAlignBoundaries) {
+  SpillFile f;
+  ASSERT_TRUE(f.Create(SpillDir()).ok());
+  EXPECT_TRUE(f.is_open());
+
+  // Appends deliberately straddle the 4 KiB block and the 1 MiB staging
+  // buffer boundaries with sizes that never align.
+  std::vector<char> payload;
+  uint64_t x = 0x9E3779B97F4A7C15ull;
+  const size_t sizes[] = {1,    7,     4095,  4096,  4097,
+                          8191, 65537, 100003, (1u << 20) + 13};
+  for (size_t sz : sizes) {
+    std::vector<char> piece(sz);
+    for (char& c : piece) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      c = static_cast<char>(x);
+    }
+    ASSERT_TRUE(f.Append(piece.data(), piece.size()).ok());
+    payload.insert(payload.end(), piece.begin(), piece.end());
+  }
+  ASSERT_TRUE(f.FinishWrites().ok());
+  EXPECT_EQ(f.size(), payload.size());
+
+  // Whole-file read plus unaligned windows.
+  std::vector<char> back(payload.size());
+  ASSERT_TRUE(f.ReadAt(0, back.data(), back.size()).ok());
+  EXPECT_EQ(back, payload);
+  const size_t offsets[] = {1, 4095, 4096, 4097, 65536, payload.size() - 9};
+  for (size_t off : offsets) {
+    char window[9] = {0};
+    ASSERT_TRUE(f.ReadAt(off, window, sizeof(window)).ok());
+    EXPECT_EQ(0, std::memcmp(window, payload.data() + off, sizeof(window)))
+        << "offset " << off;
+  }
+}
+
+TEST(SpillFile, CreateInMissingDirectoryFails) {
+  SpillFile f;
+  Status s = f.Create("/nonexistent-spill-dir-for-test");
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(f.is_open());
+}
+
+TEST(SpillFile, FilesAreUnlinkedAtCreation) {
+  // A freshly created spill file must not be reachable by name: nothing
+  // may be left behind in the directory on any unwind path.
+  char tmpl[] = "/tmp/cea_spill_dir_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  std::string dir = tmpl;
+  {
+    SpillFile f;
+    ASSERT_TRUE(f.Create(dir).ok());
+    ASSERT_TRUE(f.Append("x", 1).ok());
+    // The directory is empty even while the file is open and written to.
+    ASSERT_EQ(0, ::rmdir(dir.c_str()))
+        << "spill file left a directory entry behind";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpillManager
+
+TEST(SpillManager, SegmentRoundTripConcatenatesRuns) {
+  StateLayout layout({{AggFn::kCount, -1}, {AggFn::kSum, 0}});
+  SpillManager::Config config;
+  config.dir = SpillDir();
+  SpillManager mgr(config, /*key_words=*/1, layout, /*control=*/nullptr);
+
+  // Two runs into one stream, sizes chosen to cross chunk boundaries.
+  const size_t n1 = 700, n2 = 1300;
+  ::cea::Run a(1, layout), b(1, layout);
+  ASSERT_EQ(layout.total_words, 2);  // count: 1 word, sum: 1 word
+  auto fill = [&](::cea::Run* r, size_t n, uint64_t salt) {
+    for (size_t i = 0; i < n; ++i) {
+      r->key_cols[0].Append(salt + i);
+      r->states[0].Append(2 * (salt + i));
+      r->states[1].Append(5 * (salt + i));
+    }
+    r->distinct = true;
+  };
+  fill(&a, n1, 1000);
+  fill(&b, n2, 900000);
+
+  const uint64_t key = SpillManager::PartitionKey(7, 42);
+  EXPECT_FALSE(mgr.HasSpilled(key));
+  mgr.SpillRun(key, &a);
+  mgr.SpillRun(key, &b);
+  EXPECT_TRUE(mgr.HasSpilled(key));
+  // Spilled runs are emptied (chunks back to the pool) but stay usable.
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_FALSE(a.distinct);
+  EXPECT_GT(mgr.bytes_written(), 0u);
+
+  mgr.EnqueueBucket(key, /*level=*/3);
+  SpillManager::PendingBucket desc;
+  ASSERT_TRUE(mgr.TakePending(&desc));
+  EXPECT_EQ(desc.key, key);
+  EXPECT_EQ(desc.level, 3);
+  EXPECT_EQ(desc.rows, n1 + n2);
+
+  ::cea::Run out(1, layout);
+  mgr.Restore(desc, &out);
+  ASSERT_EQ(out.size(), n1 + n2);
+  // Restored rows must be non-distinct: one group's rows may straddle the
+  // segment boundary.
+  EXPECT_FALSE(out.distinct);
+  std::vector<uint64_t> keys = out.key_cols[0].ToVector();
+  std::vector<uint64_t> sums = out.states[1].ToVector();
+  for (size_t i = 0; i < n1; ++i) {
+    ASSERT_EQ(keys[i], 1000 + i) << "row " << i;
+    ASSERT_EQ(sums[i], 5 * (1000 + i)) << "row " << i;
+  }
+  for (size_t i = 0; i < n2; ++i) {
+    ASSERT_EQ(keys[n1 + i], 900000 + i) << "row " << n1 + i;
+  }
+  EXPECT_EQ(mgr.bytes_read(), mgr.bytes_written());
+  EXPECT_EQ(mgr.buckets_restored(), 1u);
+  ASSERT_FALSE(mgr.TakePending(&desc));
+}
+
+TEST(SpillManager, ShouldSpillNeverFiresWithoutLimit) {
+  BudgetGuard guard;
+  MemoryBudget::Global().SetLimit(0);
+  StateLayout layout({{AggFn::kCount, -1}});
+  SpillManager::Config config;
+  config.dir = SpillDir();
+  config.threshold = 0.01;
+  SpillManager mgr(config, 1, layout, nullptr);
+  EXPECT_FALSE(mgr.ShouldSpill());
+}
+
+// ---------------------------------------------------------------------------
+// Operator: degrade gracefully instead of rejecting
+
+// The ISSUE 10 acceptance scenario: a group-by whose run-store working
+// set is several times the memory budget completes and matches the
+// scalar reference, instead of failing with kResourceExhausted.
+TEST(SpillOperator, WorkingSetSeveralTimesBudgetCompletes) {
+  const uint64_t n = 1 << 22;  // ~64 MiB of key+count runs at 16 B/row
+  std::vector<uint64_t> keys = UniformKeys(n, n, 77);
+  InputTable input;
+  input.keys = keys.data();
+  input.num_rows = keys.size();
+
+  BudgetGuard guard;
+  guard.SetHeadroom(16 << 20);  // working set >= 4x the headroom
+
+  AggregationOptions o = SpillOptions(/*threads=*/2, /*threshold=*/0.2);
+  ExecStats stats;
+  ExpectMatchesReference({{AggFn::kCount, -1}}, input, o, &stats);
+  EXPECT_GT(stats.spilled_bytes, 0u);
+  EXPECT_GT(stats.spill_read_bytes, 0u);
+  EXPECT_GT(stats.spill_files, 0u);
+  EXPECT_EQ(FormatExecStats(stats).find("spill:") != std::string::npos, true);
+}
+
+// Same shape without a spill directory: the budget trips, the execution
+// fails with kResourceExhausted — and the unwind must not leak a single
+// chunk. Satellite 1's regression: repeat the failed Execute several
+// times and require (a) every allocated chunk was returned and (b) the
+// budget's used() stays consistent, then verify an unlimited rerun on
+// the same operator still matches the reference.
+TEST(SpillOperator, ExhaustionUnwindLeaksNothing) {
+  const uint64_t n = 1 << 21;
+  std::vector<uint64_t> keys = UniformKeys(n, n, 5);
+  InputTable input;
+  input.keys = keys.data();
+  input.num_rows = keys.size();
+
+  BudgetGuard guard;
+  guard.SetHeadroom(6 << 20);  // far below the ~32 MiB working set
+
+  AggregationOperator op({{AggFn::kCount, -1}}, TinyCacheOptions(2));
+  for (int round = 0; round < 6; ++round) {
+    ChunkPool::Stats before = ChunkPool::Global().GetStats();
+    ResultTable result;
+    Status s = op.Execute(input, &result, nullptr);
+    ASSERT_FALSE(s.ok()) << "round " << round;
+    EXPECT_EQ(s.code(), StatusCode::kResourceExhausted)
+        << "round " << round << ": " << s.message();
+    // Workers park freed chunks in thread caches; flush so the pool-level
+    // balance below sees them (callers of Free already ran — frees_ is
+    // counted before caching).
+    ChunkPool::Global().FlushThreadCache();
+    ChunkPool::Stats after = ChunkPool::Global().GetStats();
+    uint64_t allocated = (after.fresh_chunks - before.fresh_chunks) +
+                         (after.recycled_chunks - before.recycled_chunks) +
+                         (after.oversize_chunks - before.oversize_chunks);
+    uint64_t freed = after.frees - before.frees;
+    EXPECT_EQ(allocated, freed)
+        << "round " << round << ": chunks leaked across the unwind";
+    EXPECT_LE(MemoryBudget::Global().used(), MemoryBudget::Global().limit())
+        << "round " << round << ": unwind left the budget over its limit";
+  }
+
+  // The operator must stay reusable: unlimited rerun matches reference.
+  MemoryBudget::Global().SetLimit(0);
+  ResultTable got;
+  ASSERT_TRUE(op.Execute(input, &got, nullptr).ok());
+  ResultTable expect = ReferenceAggregate(input, {{AggFn::kCount, -1}});
+  ExpectResultsMatch(&got, expect);
+}
+
+TEST(SpillOperator, SpillStatsStayZeroWithoutPressure) {
+  std::vector<uint64_t> keys = UniformKeys(100000, 1000, 3);
+  InputTable input;
+  input.keys = keys.data();
+  input.num_rows = keys.size();
+  // Unlimited budget: a configured spill dir must never spill.
+  BudgetGuard guard;
+  MemoryBudget::Global().SetLimit(0);
+  ExecStats stats;
+  ExpectMatchesReference({{AggFn::kCount, -1}}, input,
+                         SpillOptions(2, 0.5), &stats);
+  EXPECT_EQ(stats.spilled_bytes, 0u);
+  EXPECT_EQ(stats.spill_files, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: spilling on vs off, 48 seeds
+
+TEST(SpillFuzz, DifferentialAgainstUnlimitedRun48Seeds) {
+  const std::vector<AggregateSpec> specs = {
+      {AggFn::kCount, -1}, {AggFn::kSum, 0}, {AggFn::kMin, 0}};
+  for (uint64_t seed = 0; seed < 48; ++seed) {
+    GenParams gp;
+    gp.n = 60000 + (seed % 7) * 9000;
+    gp.k = 1 + ((seed * 2654435761u) % gp.n);
+    gp.seed = seed + 1;
+    gp.dist = (seed % 3 == 0) ? Distribution::kZipf : Distribution::kUniform;
+    std::vector<uint64_t> keys = GenerateKeys(gp);
+    Column values = GenerateValues(keys.size(), seed + 500);
+    InputTable input;
+    input.keys = keys.data();
+    input.values.push_back(values.data());
+    input.num_rows = keys.size();
+
+    // Reference: unlimited budget, no spill machinery.
+    ResultTable expect = ReferenceAggregate(input, specs);
+
+    // Cancellation seeds: every 8th seed cancels from a pass task at
+    // recursion level >= 1 — mid-execution, possibly mid-spill. The only
+    // acceptable outcomes are clean completion with the right answer (the
+    // cancel raced the finish) or kCancelled; either way the operator and
+    // the budget must be intact for the next seed.
+    const bool cancel_seed = seed % 8 == 5;
+
+    BudgetGuard guard;
+    guard.SetHeadroom(3 << 20);  // tiny: forces the spill path
+    AggregationOptions o = SpillOptions(/*threads=*/2, /*threshold=*/0.1);
+    CancellationSource source;
+    if (cancel_seed) {
+      o.cancel_token = source.token();
+      o.fault_hook = [&source](int level) {
+        if (level >= 1) source.Cancel("fuzz mid-spill cancel");
+      };
+    }
+    AggregationOperator op(specs, o);
+    ResultTable got;
+    Status s = op.Execute(input, &got, nullptr);
+    if (cancel_seed && !s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kCancelled)
+          << "seed " << seed << ": " << s.message();
+      continue;
+    }
+    ASSERT_TRUE(s.ok()) << "seed " << seed << ": " << s.message();
+    ExpectResultsMatch(&got, expect);
+  }
+}
+
+}  // namespace
+}  // namespace cea

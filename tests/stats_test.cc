@@ -184,6 +184,9 @@ TEST(Stats, MergeAccumulatesEveryField) {
     s.chunks_allocated = base + 11;
     s.chunks_recycled = base + 12;
     s.mem_peak_bytes = base + 13;
+    s.spilled_bytes = base + 15;
+    s.spill_read_bytes = base + 16;
+    s.spill_files = base + 17;
     s.max_level = static_cast<int>(base % 5);
     s.sum_alpha = static_cast<double>(base) / 2.0;
     s.num_alpha = base + 10;
@@ -212,6 +215,9 @@ TEST(Stats, MergeAccumulatesEveryField) {
   EXPECT_EQ(a.chunks_allocated, 1011u + 42u);
   EXPECT_EQ(a.chunks_recycled, 1012u + 43u);
   EXPECT_EQ(a.mem_peak_bytes, 1013u);  // max, not sum: process-wide peak
+  EXPECT_EQ(a.spilled_bytes, 1015u + 46u);
+  EXPECT_EQ(a.spill_read_bytes, 1016u + 47u);
+  EXPECT_EQ(a.spill_files, 1017u + 48u);
   EXPECT_EQ(a.max_level, 1);  // max(1000 % 5, 31 % 5)
   EXPECT_DOUBLE_EQ(a.sum_alpha, 500.0 + 15.5);
   EXPECT_EQ(a.num_alpha, 1010u + 41u);

@@ -26,6 +26,15 @@
 //                                 Must be positive (omit for unlimited).
 //                                 --no_huge_pages disables the THP madvise
 //                                 on fresh pool slabs.
+//   --spill_dir=PATH              under memory pressure, spill partition
+//                                 runs to unlinked temp files in PATH and
+//                                 stream them back instead of failing with
+//                                 a resource-exhausted status. PATH must be
+//                                 an existing writable directory; requires
+//                                 --mem_budget_mb (no budget, no pressure).
+//   --spill_threshold=F           fraction of the budget at which spilling
+//                                 starts (default 0.8; 0 < F <= 1.0).
+//                                 Requires --spill_dir.
 //   --simd_tier=scalar|avx2|avx512
 //                                 force the SIMD kernel tier (default: best
 //                                 the CPU supports; the CEA_SIMD_TIER env
@@ -49,7 +58,11 @@
 //                                 PATH while the query runs (default period
 //                                 250 ms; a final snapshot always lands)
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -142,6 +155,56 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Spill flags. Each failure mode gets its own message: a silently
+  // ignored --spill_dir typo would run the query with the old
+  // reject-on-exhaustion behavior, which is exactly the failure the flag
+  // exists to avoid.
+  const std::string spill_dir = flags.GetString("spill_dir", "");
+  double spill_threshold = 0.8;
+  if (flags.Has("spill_threshold")) {
+    if (spill_dir.empty()) {
+      std::fprintf(stderr,
+                   "usage error: --spill_threshold requires --spill_dir\n");
+      return 2;
+    }
+    std::string v = flags.GetString("spill_threshold", "");
+    char* end = nullptr;
+    spill_threshold = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0' || spill_threshold <= 0.0 ||
+        spill_threshold > 1.0) {
+      std::fprintf(stderr,
+                   "usage error: --spill_threshold=%s (must be a fraction in "
+                   "(0, 1])\n",
+                   v.c_str());
+      return 2;
+    }
+  }
+  if (!spill_dir.empty()) {
+    if (!flags.Has("mem_budget_mb")) {
+      std::fprintf(stderr,
+                   "usage error: --spill_dir requires --mem_budget_mb (with "
+                   "an unlimited budget nothing ever spills)\n");
+      return 2;
+    }
+    struct stat st;
+    if (::stat(spill_dir.c_str(), &st) != 0) {
+      std::fprintf(stderr,
+                   "usage error: --spill_dir=%s does not exist: %s\n",
+                   spill_dir.c_str(), std::strerror(errno));
+      return 2;
+    }
+    if (!S_ISDIR(st.st_mode)) {
+      std::fprintf(stderr, "usage error: --spill_dir=%s is not a directory\n",
+                   spill_dir.c_str());
+      return 2;
+    }
+    if (::access(spill_dir.c_str(), W_OK | X_OK) != 0) {
+      std::fprintf(stderr, "usage error: --spill_dir=%s is not writable: %s\n",
+                   spill_dir.c_str(), std::strerror(errno));
+      return 2;
+    }
+  }
+
   // SIMD tier override. Unlike the CEA_SIMD_TIER env default (which warns
   // and falls back), an explicit flag that cannot be honored is an error.
   if (flags.Has("simd_tier")) {
@@ -224,6 +287,8 @@ int main(int argc, char** argv) {
   options.c = flags.GetUint("c", 10);
   options.deadline = std::chrono::milliseconds(
       static_cast<int64_t>(flags.GetUint("deadline_ms", 0)));
+  options.spill_dir = spill_dir;
+  options.spill_threshold = spill_threshold;
   std::string policy = flags.GetString("policy", "adaptive");
   if (policy == "adaptive") {
     options.policy = cea::AggregationOptions::PolicyKind::kAdaptive;
@@ -299,6 +364,15 @@ int main(int argc, char** argv) {
                keys.size(), result.num_groups(), sec * 1e3,
                sec / static_cast<double>(keys.size()) * 1e9,
                op.policy().Name().c_str(), op.num_threads());
+  if (stats.spill_files != 0) {
+    std::fprintf(stderr,
+                 "spilled %.1f MiB to %s (%llu files, %.1f MiB read back)\n",
+                 static_cast<double>(stats.spilled_bytes) / (1024.0 * 1024.0),
+                 spill_dir.c_str(),
+                 static_cast<unsigned long long>(stats.spill_files),
+                 static_cast<double>(stats.spill_read_bytes) /
+                     (1024.0 * 1024.0));
+  }
   if (stats_json) {
     cea::obs::JsonWriter w;
     w.BeginObject();
@@ -324,7 +398,13 @@ int main(int argc, char** argv) {
     std::string tree = obs.profile().ToText();
     std::fwrite(tree.data(), 1, tree.size(), stdout);
   }
-  if (metric_sink != nullptr) metric_sink->Stop();
+  if (metric_sink != nullptr) {
+    cea::Status sink_status = metric_sink->Stop();
+    if (!sink_status.ok()) {
+      std::fprintf(stderr, "error: %s\n", sink_status.message().c_str());
+      return 1;
+    }
+  }
   if (want_metrics) {
     std::string text = cea::obs::MetricRegistry::Global().PrometheusText();
     std::string metrics_path = flags.GetString("metrics", "");
@@ -344,11 +424,12 @@ int main(int argc, char** argv) {
     }
   }
   if (!trace_path.empty()) {
-    if (obs.trace().WriteChromeJson(trace_path)) {
+    cea::Status trace_status = obs.trace().WriteChromeJson(trace_path);
+    if (trace_status.ok()) {
       std::fprintf(stderr, "trace: %zu spans -> %s\n",
                    obs.trace().num_spans(), trace_path.c_str());
     } else {
-      std::fprintf(stderr, "trace: cannot write %s\n", trace_path.c_str());
+      std::fprintf(stderr, "error: %s\n", trace_status.message().c_str());
       return 1;
     }
   }
